@@ -1,0 +1,40 @@
+# Convenience targets for the pmcpower reproduction.
+
+GO ?= go
+
+.PHONY: all build vet test bench report examples clean
+
+all: build vet test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# Timed regeneration of every paper artifact (E1–E17).
+bench:
+	$(GO) test -bench=. -benchmem ./...
+
+# Text report of every table and figure.
+report:
+	$(GO) run ./cmd/expreport
+
+examples:
+	$(GO) run ./examples/quickstart
+	$(GO) run ./examples/counter_selection
+	$(GO) run ./examples/dvfs_sweep
+	$(GO) run ./examples/unseen_workloads
+	$(GO) run ./examples/online_monitor
+	$(GO) run ./examples/percore_power
+
+# The outputs recorded in the repository.
+outputs:
+	$(GO) test ./... 2>&1 | tee test_output.txt
+	$(GO) test -bench=. -benchmem ./... 2>&1 | tee bench_output.txt
+
+clean:
+	$(GO) clean ./...

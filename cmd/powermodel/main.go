@@ -1,0 +1,137 @@
+// Command powermodel runs the complete modeling workflow of the paper
+// end to end on the simulated platform: data acquisition at the
+// selection frequency with all counters, Algorithm-1 counter
+// selection, acquisition across all DVFS states, Equation-1 model
+// training with HC3 standard errors, and 10-fold cross validation.
+//
+// Usage:
+//
+//	powermodel [-seed n] [-counters k] [-folds k] [-verbose]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/cpusim"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/workloads"
+)
+
+func main() {
+	seed := flag.Uint64("seed", 42, "acquisition seed")
+	nCounters := flag.Int("counters", 6, "number of PMC events to select")
+	folds := flag.Int("folds", 10, "cross-validation folds")
+	verbose := flag.Bool("verbose", false, "print per-fold and per-workload detail")
+	flag.Parse()
+
+	if err := run(*seed, *nCounters, *folds, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "powermodel:", err)
+		os.Exit(1)
+	}
+}
+
+func run(seed uint64, nCounters, folds int, verbose bool) error {
+	platform := cpusim.HaswellEP()
+	fmt.Printf("platform: %s (%d cores, P-states %v MHz)\n",
+		platform.Name, platform.TotalCores(), platform.Frequencies())
+
+	active := workloads.Active()
+	fmt.Printf("workloads: %d active (%d synthetic, %d SPEC proxies)\n",
+		len(active), len(workloads.ActiveByClass(workloads.Synthetic)), len(workloads.ActiveByClass(workloads.SPEC)))
+
+	// Step 1: acquisition at the selection frequency with all 54
+	// counters (multiplexed over multiple runs per workload).
+	const selFreq = 2400
+	fmt.Printf("\n[1/4] acquiring all %d counters at %d MHz...\n", pmu.NumEvents(), selFreq)
+	selDS, err := acquisition.Acquire(acquisition.Options{Seed: seed}, active, []int{selFreq})
+	if err != nil {
+		return err
+	}
+	plan, err := pmu.PlanRuns(pmu.AllIDs())
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      %d experiments, %d multiplexed runs per workload\n", len(selDS.Rows), len(plan))
+
+	// Step 2: Algorithm 1.
+	fmt.Printf("\n[2/4] selecting %d PMC events (Algorithm 1)...\n", nCounters)
+	steps, err := core.SelectEvents(selDS.Rows, core.SelectOptions{Count: nCounters})
+	if err != nil {
+		return err
+	}
+	for i, s := range steps {
+		vif := "n/a"
+		if i > 0 {
+			vif = fmt.Sprintf("%.3f", s.MeanVIF)
+		}
+		fmt.Printf("      %d. %-8s R²=%.3f Adj.R²=%.3f meanVIF=%s\n",
+			i+1, pmu.Lookup(s.Event).Short, s.R2, s.AdjR2, vif)
+	}
+	events := core.Events(steps)
+
+	// Step 3: acquisition across all DVFS states with the selected
+	// counters (plus the fixed cycle counter the rate normalization
+	// needs).
+	freqs := platform.Frequencies()
+	fmt.Printf("\n[3/4] acquiring selected counters at %v MHz...\n", freqs)
+	evAcq := events
+	cyc := pmu.MustByName("TOT_CYC").ID
+	haveCyc := false
+	for _, id := range evAcq {
+		if id == cyc {
+			haveCyc = true
+		}
+	}
+	if !haveCyc {
+		evAcq = append(append([]pmu.EventID(nil), events...), cyc)
+	}
+	fullDS, err := acquisition.Acquire(acquisition.Options{Seed: seed, Events: evAcq}, active, freqs)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      %d experiments\n", len(fullDS.Rows))
+
+	// Step 4: train and cross-validate.
+	fmt.Printf("\n[4/4] training Equation 1 (OLS + HC3) and running %d-fold CV...\n", folds)
+	model, err := core.Train(fullDS.Rows, events, core.TrainOptions{})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("      %s\n", model)
+	if verbose {
+		fmt.Printf("      coefficient table (HC3 standard errors):\n")
+		names := append([]string{"delta (const)"}, func() []string {
+			var n []string
+			for _, id := range events {
+				n = append(n, "alpha "+pmu.Lookup(id).Short)
+			}
+			return append(n, "beta (V²f)", "gamma (V)")
+		}()...)
+		for i, name := range names {
+			fmt.Printf("        %-18s %+12.4f ± %.4f (p=%.3g)\n",
+				name, model.Fit.Coeffs[i], model.Fit.StdErr[i], model.Fit.PValues[i])
+		}
+	}
+
+	cv, err := core.CrossValidate(fullDS.Rows, events, folds, seed+7)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("\ncross-validation (%d folds):\n", folds)
+	fmt.Printf("      R²    min=%.4f max=%.4f mean=%.4f\n", cv.R2Summary().Min, cv.R2Summary().Max, cv.R2Summary().Mean)
+	fmt.Printf("      AdjR² min=%.4f max=%.4f mean=%.4f\n", cv.AdjR2Summary().Min, cv.AdjR2Summary().Max, cv.AdjR2Summary().Mean)
+	fmt.Printf("      MAPE  min=%.2f%%  max=%.2f%%  mean=%.2f%%\n", cv.MAPESummary().Min, cv.MAPESummary().Max, cv.MAPESummary().Mean)
+
+	if verbose {
+		fmt.Println("\nper-workload MAPE across all DVFS states:")
+		perWL := cv.PerWorkloadMAPE()
+		for _, w := range fullDS.Workloads() {
+			fmt.Printf("      %-16s %6.2f%%\n", w, perWL[w])
+		}
+	}
+	return nil
+}

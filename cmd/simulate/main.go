@@ -1,0 +1,112 @@
+// Command simulate exposes the substrate directly: execute one
+// workload phase on a simulated platform and print the resulting
+// performance counters and the ground-truth power breakdown — the
+// "what would the machine do" view beneath the modeling workflow.
+//
+// Usage:
+//
+//	simulate -workload md -freq 2400 -threads 24
+//	simulate -list                     # available workloads
+//	simulate -platform arm -workload compute -freq 1800 -threads 4
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"pmcpower/internal/cpusim"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/power"
+	"pmcpower/internal/rng"
+	"pmcpower/internal/workloads"
+)
+
+func main() {
+	wlName := flag.String("workload", "compute", "workload to execute")
+	freq := flag.Int("freq", 2400, "core frequency in MHz")
+	threads := flag.Int("threads", 24, "active threads")
+	seed := flag.Uint64("seed", 1, "run seed")
+	platformName := flag.String("platform", "haswell", "platform: haswell or arm")
+	list := flag.Bool("list", false, "list available workloads and exit")
+	flag.Parse()
+
+	if *list {
+		listWorkloads()
+		return
+	}
+	if err := run(*wlName, *freq, *threads, *seed, *platformName); err != nil {
+		fmt.Fprintln(os.Stderr, "simulate:", err)
+		os.Exit(1)
+	}
+}
+
+func listWorkloads() {
+	fmt.Printf("%-16s %-12s %-8s %s\n", "name", "suite", "phases", "description")
+	for _, w := range workloads.All() {
+		suite := w.Class.String()
+		if w.Excluded {
+			suite += " (excluded)"
+		}
+		fmt.Printf("%-16s %-12s %-8d %s\n", w.Name, suite, len(w.Phases), w.Description)
+	}
+}
+
+func run(wlName string, freq, threads int, seed uint64, platformName string) error {
+	var platform *cpusim.Platform
+	var model *power.Model
+	switch platformName {
+	case "haswell":
+		platform = cpusim.HaswellEP()
+		model = power.DefaultModel()
+	case "arm":
+		platform = cpusim.EmbeddedARM()
+		model = power.EmbeddedModel()
+	default:
+		return fmt.Errorf("unknown platform %q (haswell or arm)", platformName)
+	}
+	wl, err := workloads.ByName(wlName)
+	if err != nil {
+		return err
+	}
+	exec := cpusim.NewExecutor(platform)
+
+	fmt.Printf("platform: %s\n", platform.Name)
+	fmt.Printf("workload: %s — %s\n", wl.Name, wl.Description)
+	fmt.Printf("run:      %d MHz, %d threads, 1 s per phase, seed %d\n\n", freq, threads, seed)
+
+	acts, err := exec.ExecutePhases(wl, freq, threads, float64(len(wl.Phases)), rng.New(seed))
+	if err != nil {
+		return err
+	}
+	for pi, a := range acts {
+		fmt.Printf("--- phase %q (%.2f s) ---\n", wl.Phases[pi].Name, a.DurationS)
+		fmt.Printf("IPC %.2f   core voltage %.3f V   DRAM %.1f GB/s (%.0f%% of peak)\n",
+			a.IPC(), a.CoreVoltageV, a.MemBandwidthGBs(), a.MemBWUtil*100)
+
+		b := model.NodePower(platform, a)
+		fmt.Printf("ground-truth power: %.1f W  (cores %.1f, uncore %.1f, IMC %.1f, static %.1f, const %.1f; die %.0f °C)\n",
+			b.TotalW, b.CoreDynW, b.UncoreDynW, b.IMCW, b.StaticW, b.ConstW, b.DieTempC)
+
+		counters := cpusim.AllCounters(a)
+		type kv struct {
+			name string
+			rate float64
+		}
+		var rows []kv
+		for id, v := range counters {
+			rows = append(rows, kv{pmu.Lookup(id).Short, v / a.DurationS})
+		}
+		sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+		fmt.Println("counter rates (events/s):")
+		for i := 0; i < len(rows); i += 3 {
+			for j := i; j < i+3 && j < len(rows); j++ {
+				fmt.Printf("  %-9s %12.4g", rows[j].name, rows[j].rate)
+			}
+			fmt.Println()
+		}
+		fmt.Println()
+	}
+	return nil
+}

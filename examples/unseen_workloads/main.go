@@ -1,0 +1,99 @@
+// Unseen workloads: the paper's scenario 2 — train the model only on
+// synthetic roco2 kernels and apply it to the SPEC OMP2012 proxies.
+// Shows the per-workload systematic bias of Figure 5a and why "a
+// limited set of micro workloads is not sufficient ... for calibrating
+// the model parameters".
+//
+// Run with: go run ./examples/unseen_workloads
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/stats"
+	"pmcpower/internal/workloads"
+)
+
+func main() {
+	var events []pmu.EventID
+	for _, name := range []string{"LST_INS", "STL_CCY", "L3_TCM", "TOT_CYC", "BR_UCN", "BR_TKN"} {
+		events = append(events, pmu.MustByName(name).ID)
+	}
+	freqs := []int{1200, 1600, 2000, 2400, 2600}
+
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: 42, Events: events},
+		workloads.Active(), freqs)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	train := ds.ByClass(workloads.Synthetic)
+	test := ds.ByClass(workloads.SPEC)
+	fmt.Printf("training on %d synthetic experiments (%v)\n", len(train.Rows), train.Workloads())
+	fmt.Printf("validating on %d SPEC experiments (%v)\n\n", len(test.Rows), test.Workloads())
+
+	model, err := core.Train(train.Rows, events, core.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Per-workload bias across the DVFS sweep (Figure 5a view): the
+	// estimate error is often systematic per workload, not random.
+	type bias struct {
+		name       string
+		meanAPE    float64
+		meanBiasPc float64
+	}
+	var rows []bias
+	for _, name := range test.Workloads() {
+		var actual, pred []float64
+		for _, r := range test.Rows {
+			if r.Workload != name {
+				continue
+			}
+			actual = append(actual, r.PowerW)
+			pred = append(pred, model.Predict(r))
+		}
+		rows = append(rows, bias{
+			name:       name,
+			meanAPE:    stats.MAPE(actual, pred),
+			meanBiasPc: stats.MeanBias(actual, pred) / stats.Mean(actual) * 100,
+		})
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].meanAPE > rows[j].meanAPE })
+	fmt.Println("per-workload error of the synthetic-only model (all DVFS states):")
+	fmt.Printf("  %-14s %10s %12s\n", "workload", "MAPE", "mean bias")
+	for _, b := range rows {
+		tag := ""
+		if b.meanBiasPc > 3 {
+			tag = "  consistently overestimated"
+		} else if b.meanBiasPc < -3 {
+			tag = "  consistently underestimated"
+		}
+		fmt.Printf("  %-14s %9.2f%% %+11.2f%%%s\n", b.name, b.meanAPE, b.meanBiasPc, tag)
+	}
+
+	var all []float64
+	var allPred []float64
+	for _, r := range test.Rows {
+		all = append(all, r.PowerW)
+		allPred = append(allPred, model.Predict(r))
+	}
+	fmt.Printf("\noverall scenario-2 MAPE: %.2f%%\n", stats.MAPE(all, allPred))
+
+	// Contrast: the same model trained on everything (scenario-3
+	// style) on the same test rows.
+	full, err := core.Train(ds.Rows, events, core.TrainOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("same rows, model trained on both suites: %.2f%%\n", full.MAPE(test.Rows))
+	fmt.Println("\nthe gap is the paper's point: synthetic kernels alone do not span")
+	fmt.Println("the behaviour of real applications, so the regression coefficients")
+	fmt.Println("absorb suite-specific structure that does not transfer.")
+}

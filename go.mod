@@ -1,0 +1,3 @@
+module pmcpower
+
+go 1.22

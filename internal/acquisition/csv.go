@@ -1,0 +1,63 @@
+package acquisition
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"pmcpower/internal/pmu"
+)
+
+// WriteCSV exports the dataset as CSV: one row per experiment, with
+// the identification columns first, then measured power and voltage,
+// then one column per counter (absolute rates in events/second). The
+// counter column set is the union over all rows, sorted by event ID,
+// so heterogeneous datasets export losslessly; missing counters are
+// empty cells.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	// Union of events across rows.
+	present := map[pmu.EventID]bool{}
+	for _, r := range d.Rows {
+		for id := range r.Rates {
+			present[id] = true
+		}
+	}
+	var events []pmu.EventID
+	for id := range present {
+		events = append(events, id)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+
+	cw := csv.NewWriter(w)
+	header := []string{"workload", "class", "freq_mhz", "threads", "power_w", "voltage_v"}
+	for _, id := range events {
+		header = append(header, pmu.Lookup(id).Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("acquisition: writing CSV header: %w", err)
+	}
+	for _, r := range d.Rows {
+		rec := []string{
+			r.Workload,
+			r.Class.String(),
+			strconv.Itoa(r.FreqMHz),
+			strconv.Itoa(r.Threads),
+			strconv.FormatFloat(r.PowerW, 'g', -1, 64),
+			strconv.FormatFloat(r.VoltageV, 'g', -1, 64),
+		}
+		for _, id := range events {
+			if v, ok := r.Rates[id]; ok {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("acquisition: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,94 @@
+package acquisition
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/workloads"
+)
+
+func TestWriteCSV(t *testing.T) {
+	wls := []*workloads.Workload{workloads.MustByName("compute")}
+	ds, err := Acquire(Options{Seed: 1, Events: smallEvents()}, wls, []int{2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(ds.Rows)+1 {
+		t.Fatalf("%d CSV records for %d rows", len(records), len(ds.Rows))
+	}
+	header := records[0]
+	if header[0] != "workload" || header[4] != "power_w" {
+		t.Fatalf("header = %v", header)
+	}
+	// One column per event, in ID order, full PAPI names.
+	wantCols := 6 + len(smallEvents())
+	if len(header) != wantCols {
+		t.Fatalf("%d columns, want %d", len(header), wantCols)
+	}
+	for _, name := range header[6:] {
+		if !strings.HasPrefix(name, "PAPI_") {
+			t.Fatalf("counter column %q lacks PAPI prefix", name)
+		}
+		if _, err := pmu.ByName(name); err != nil {
+			t.Fatalf("unknown counter column %q", name)
+		}
+	}
+	// Values round-trip numerically.
+	for i, rec := range records[1:] {
+		p, err := strconv.ParseFloat(rec[4], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p != ds.Rows[i].PowerW {
+			t.Fatalf("row %d power %v != %v", i, p, ds.Rows[i].PowerW)
+		}
+		thr, err := strconv.Atoi(rec[3])
+		if err != nil || thr != ds.Rows[i].Threads {
+			t.Fatalf("row %d threads %v", i, rec[3])
+		}
+	}
+}
+
+func TestWriteCSVHeterogeneousRows(t *testing.T) {
+	// Rows with different counter sets → union columns, empty cells.
+	ds := &Dataset{Rows: []*Row{
+		{Workload: "a", FreqMHz: 2400, Threads: 1, PowerW: 100, VoltageV: 1,
+			Rates: map[pmu.EventID]float64{pmu.MustByName("TOT_CYC").ID: 1e9}},
+		{Workload: "b", FreqMHz: 2400, Threads: 1, PowerW: 110, VoltageV: 1,
+			Rates: map[pmu.EventID]float64{pmu.MustByName("BR_MSP").ID: 5e6}},
+	}}
+	var buf bytes.Buffer
+	if err := ds.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records[0]) != 6+2 {
+		t.Fatalf("union columns wrong: %v", records[0])
+	}
+	empties := 0
+	for _, rec := range records[1:] {
+		for _, cell := range rec[6:] {
+			if cell == "" {
+				empties++
+			}
+		}
+	}
+	if empties != 2 {
+		t.Fatalf("%d empty cells, want 2", empties)
+	}
+}

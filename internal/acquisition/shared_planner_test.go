@@ -1,0 +1,51 @@
+package acquisition
+
+import (
+	"testing"
+
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/workloads"
+)
+
+func TestSharedPlannerProducesEquivalentDatasets(t *testing.T) {
+	wls := []*workloads.Workload{workloads.MustByName("sinus")}
+	base, err := Acquire(Options{Seed: 12}, wls, []int{2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var baseRuns, sharedRuns int
+	countRuns := func(n *int) func(string, []byte) {
+		return func(string, []byte) { *n++ }
+	}
+	if _, err := Acquire(Options{Seed: 12, TraceSink: countRuns(&baseRuns)}, wls, []int{2400}); err != nil {
+		t.Fatal(err)
+	}
+	shared, err := Acquire(Options{Seed: 12, SharedPlanner: true, TraceSink: countRuns(&sharedRuns)}, wls, []int{2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sharedRuns >= baseRuns {
+		t.Fatalf("shared planner used %d runs, baseline %d — sharing must reduce runs", sharedRuns, baseRuns)
+	}
+	// The merged dataset still carries every preset, and the values
+	// agree with the baseline within run-to-run variation.
+	if len(shared.Rows) != len(base.Rows) {
+		t.Fatalf("row count changed: %d vs %d", len(shared.Rows), len(base.Rows))
+	}
+	for i := range shared.Rows {
+		if len(shared.Rows[i].Rates) != pmu.NumEvents() {
+			t.Fatalf("row %d has %d counters", i, len(shared.Rows[i].Rates))
+		}
+		for id, v := range shared.Rows[i].Rates {
+			bv := base.Rows[i].Rates[id]
+			if bv == 0 && v == 0 {
+				continue
+			}
+			rel := (v - bv) / bv
+			if rel < -0.12 || rel > 0.12 {
+				t.Fatalf("row %d event %s: shared %g vs base %g (%.1f%% apart)",
+					i, pmu.Lookup(id).Short, v, bv, rel*100)
+			}
+		}
+	}
+}

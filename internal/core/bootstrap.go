@@ -1,0 +1,123 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/rng"
+	"pmcpower/internal/stats"
+)
+
+// Bootstrap coefficient-stability analysis. The paper leans on the
+// VIF as its stability indicator ("a lower mean VIF ... ensures the
+// stability of the coefficients of a regression based model, when
+// different sets of workloads are considered") and later concedes that
+// "in our experiments a low VIF was no guarantee for a stable model".
+// The nonparametric bootstrap measures that stability directly:
+// resample the experiments with replacement, refit, and look at how
+// much each coefficient moves.
+
+// CoefficientStability summarizes one coefficient across bootstrap
+// refits.
+type CoefficientStability struct {
+	// Name is "delta", "gamma", "beta" or a counter short name.
+	Name string
+	// Point is the full-sample estimate.
+	Point float64
+	// Mean and Std are the bootstrap distribution moments.
+	Mean float64
+	Std  float64
+	// CILow / CIHigh bound the central 95 % percentile interval.
+	CILow  float64
+	CIHigh float64
+	// SignStable is true when at least 97.5 % of the refits agree with
+	// the point estimate's sign — a coefficient that flips sign across
+	// plausible datasets cannot be interpreted physically.
+	SignStable bool
+}
+
+// BootstrapResult holds the full analysis.
+type BootstrapResult struct {
+	Replicates int
+	// Coefficients are ordered: delta, gamma, beta, then the events in
+	// model order.
+	Coefficients []CoefficientStability
+}
+
+// Bootstrap refits the Equation-1 model on `replicates` row-resampled
+// datasets and summarizes each coefficient's distribution. Refits on
+// degenerate resamples (rank-deficient by bad luck) are skipped; at
+// least half the replicates must survive.
+func Bootstrap(rows []*acquisition.Row, events []pmu.EventID, replicates int, seed uint64) (*BootstrapResult, error) {
+	if replicates < 10 {
+		return nil, fmt.Errorf("core: need at least 10 bootstrap replicates, got %d", replicates)
+	}
+	point, err := Train(rows, events, TrainOptions{})
+	if err != nil {
+		return nil, err
+	}
+
+	k := len(events)
+	nCoef := 3 + k
+	draws := make([][]float64, nCoef)
+
+	r := rng.New(seed)
+	ok := 0
+	for rep := 0; rep < replicates; rep++ {
+		sample := make([]*acquisition.Row, len(rows))
+		for i := range sample {
+			sample[i] = rows[r.Intn(len(rows))]
+		}
+		m, err := Train(sample, events, TrainOptions{})
+		if err != nil {
+			continue // degenerate resample
+		}
+		ok++
+		vals := append([]float64{m.Delta, m.Gamma, m.Beta}, m.Alpha...)
+		for j, v := range vals {
+			draws[j] = append(draws[j], v)
+		}
+	}
+	if ok < replicates/2 {
+		return nil, fmt.Errorf("core: only %d of %d bootstrap refits succeeded", ok, replicates)
+	}
+
+	names := append([]string{"delta", "gamma", "beta"}, pmu.ShortNames(events)...)
+	points := append([]float64{point.Delta, point.Gamma, point.Beta}, point.Alpha...)
+	out := &BootstrapResult{Replicates: ok}
+	for j := 0; j < nCoef; j++ {
+		ds := draws[j]
+		sort.Float64s(ds)
+		cs := CoefficientStability{
+			Name:   names[j],
+			Point:  points[j],
+			Mean:   stats.Mean(ds),
+			Std:    stats.StdDev(ds),
+			CILow:  stats.Quantile(ds, 0.025),
+			CIHigh: stats.Quantile(ds, 0.975),
+		}
+		agree := 0
+		for _, v := range ds {
+			if (v >= 0) == (cs.Point >= 0) {
+				agree++
+			}
+		}
+		cs.SignStable = float64(agree) >= 0.975*float64(len(ds))
+		out.Coefficients = append(out.Coefficients, cs)
+	}
+	return out, nil
+}
+
+// UnstableCoefficients returns the names of coefficients whose sign is
+// not bootstrap-stable.
+func (b *BootstrapResult) UnstableCoefficients() []string {
+	var out []string
+	for _, c := range b.Coefficients {
+		if !c.SignStable {
+			out = append(out, c.Name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestBootstrapBasics(t *testing.T) {
+	_, full := fixtures(t)
+	events := canonicalEvents()
+	b, err := Bootstrap(full.Rows, events, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Replicates < 30 {
+		t.Fatalf("only %d replicates survived", b.Replicates)
+	}
+	if len(b.Coefficients) != 3+len(events) {
+		t.Fatalf("%d coefficient summaries", len(b.Coefficients))
+	}
+	point, err := Train(full.Rows, events, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range b.Coefficients {
+		if c.Std < 0 || math.IsNaN(c.Std) {
+			t.Fatalf("%s: bad std %v", c.Name, c.Std)
+		}
+		if c.CILow > c.CIHigh {
+			t.Fatalf("%s: CI inverted", c.Name)
+		}
+		// The point estimate should usually be inside (or near) the
+		// bootstrap CI; allow slack of one CI width.
+		width := c.CIHigh - c.CILow
+		if c.Point < c.CILow-width || c.Point > c.CIHigh+width {
+			t.Fatalf("%s: point %.3f far outside CI [%.3f, %.3f]", c.Name, c.Point, c.CILow, c.CIHigh)
+		}
+		_ = i
+	}
+	// The first three names are fixed.
+	if b.Coefficients[0].Name != "delta" || b.Coefficients[1].Name != "gamma" || b.Coefficients[2].Name != "beta" {
+		t.Fatal("coefficient order wrong")
+	}
+	if p := point.Delta; b.Coefficients[0].Point != p {
+		t.Fatal("point estimate mismatch")
+	}
+}
+
+func TestBootstrapDeterministic(t *testing.T) {
+	_, full := fixtures(t)
+	a, err := Bootstrap(full.Rows, canonicalEvents(), 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Bootstrap(full.Rows, canonicalEvents(), 30, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Coefficients {
+		if a.Coefficients[i].Mean != b.Coefficients[i].Mean {
+			t.Fatal("bootstrap must be deterministic for a fixed seed")
+		}
+	}
+}
+
+func TestBootstrapStabilityContrast(t *testing.T) {
+	// The dominant utilization coefficient must be sign-stable on the
+	// full dataset; training on a tiny unrepresentative slice should
+	// destabilize at least one coefficient.
+	_, full := fixtures(t)
+	events := canonicalEvents()
+	fullBoot, err := Bootstrap(full.Rows, events, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stable := map[string]bool{}
+	for _, c := range fullBoot.Coefficients {
+		stable[c.Name] = c.SignStable
+	}
+	if !stable["LST_INS"] && !stable["TOT_CYC"] {
+		t.Fatal("the main utilization coefficients must be bootstrap-stable on the full dataset")
+	}
+
+	tiny := full.Rows[:40] // one workload's sweep — far too narrow
+	tinyBoot, err := Bootstrap(tiny, events, 60, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tinyBoot.UnstableCoefficients()) == 0 {
+		t.Fatal("a 40-row single-workload training set should leave some coefficient sign-unstable")
+	}
+}
+
+func TestBootstrapValidation(t *testing.T) {
+	_, full := fixtures(t)
+	if _, err := Bootstrap(full.Rows, canonicalEvents(), 5, 1); err == nil {
+		t.Fatal("too few replicates must error")
+	}
+	if _, err := Bootstrap(nil, canonicalEvents(), 20, 1); err == nil {
+		t.Fatal("empty rows must error")
+	}
+}

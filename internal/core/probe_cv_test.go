@@ -1,0 +1,81 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/workloads"
+)
+
+// TestProbeCV prints cross-validation and scenario error magnitudes
+// when run with -v; a calibration aid.
+func TestProbeCV(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("probe output only with -v")
+	}
+	events := canonicalEvents()
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: 42, Events: append(events, pmu.MustByName("TOT_INS").ID)},
+		workloads.Active(), []int{1200, 1600, 2000, 2400, 2600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("full dataset: %d rows\n", len(ds.Rows))
+
+	cv, err := CrossValidate(ds.Rows, events, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("CV R²   : %v\n", cv.R2Summary())
+	fmt.Printf("CV AdjR²: %v\n", cv.AdjR2Summary())
+	fmt.Printf("CV MAPE : %v\n", cv.MAPESummary())
+
+	s1, err := Scenario1(ds, events, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := Scenario2(ds, events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3, err := Scenario3(ds, events, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s4, err := Scenario4(ds, events, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range []*ScenarioResult{s1, s2, s3, s4} {
+		fmt.Printf("%-45s MAPE=%6.2f%% (train %d, test %d)\n", s.Name, s.MAPE, s.TrainRows, s.TestRows)
+	}
+	for seed := uint64(1); seed <= 40; seed++ {
+		s, err := Scenario1(ds, events, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("  scenario1 seed=%d train=%v MAPE=%.2f%%\n", seed, s.TrainWorkloads, s.MAPE)
+	}
+
+	// Heteroscedasticity check: residual magnitude vs power level.
+	var loSum, loN, hiSum, hiN float64
+	for _, p := range s3.Predictions {
+		if p.Actual < 100 {
+			loSum += math.Abs(p.Actual - p.Predicted)
+			loN++
+		} else if p.Actual > 150 {
+			hiSum += math.Abs(p.Actual - p.Predicted)
+			hiN++
+		}
+	}
+	fmt.Printf("mean |resid| below 100 W: %.2f W (n=%.0f); above 150 W: %.2f W (n=%.0f)\n",
+		loSum/loN, loN, hiSum/hiN, hiN)
+
+	// Per-workload MAPE (Fig 3).
+	fmt.Println("per-workload MAPE:")
+	for _, w := range ds.Workloads() {
+		fmt.Printf("  %-16s %6.2f%%\n", w, cv.PerWorkloadMAPE()[w])
+	}
+}

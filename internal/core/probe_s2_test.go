@@ -1,0 +1,70 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/workloads"
+)
+
+// TestProbeScenario2 dissects the synthetic-only training model:
+// coefficients and per-feature train/test ranges. Calibration aid.
+func TestProbeScenario2(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("probe output only with -v")
+	}
+	events := []pmu.EventID{
+		pmu.MustByName("TOT_CYC").ID,
+		pmu.MustByName("L2_DCA").ID,
+		pmu.MustByName("SR_INS").ID,
+		pmu.MustByName("L3_TCM").ID,
+		pmu.MustByName("BR_MSP").ID,
+		pmu.MustByName("TLB_DM").ID,
+	}
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: 42, Events: events},
+		workloads.Active(), []int{1200, 1600, 2000, 2400, 2600})
+	if err != nil {
+		t.Fatal(err)
+	}
+	train := ds.ByClass(workloads.Synthetic)
+	test := ds.ByClass(workloads.SPEC)
+	m, err := Train(train.Rows, events, TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println(m)
+	fmt.Printf("delta=%.2f gamma=%.2f beta=%.2f\n", m.Delta, m.Gamma, m.Beta)
+	for i, id := range events {
+		var loTr, hiTr, loTe, hiTe float64 = 1e30, -1e30, 1e30, -1e30
+		for _, r := range train.Rows {
+			e := EventRate(r, id)
+			if e < loTr {
+				loTr = e
+			}
+			if e > hiTr {
+				hiTr = e
+			}
+		}
+		for _, r := range test.Rows {
+			e := EventRate(r, id)
+			if e < loTe {
+				loTe = e
+			}
+			if e > hiTe {
+				hiTe = e
+			}
+		}
+		fmt.Printf("%-8s alpha=%+12.3f  SE=%10.3f  train E=[%.2e, %.2e]  test E=[%.2e, %.2e]  worstΔP=%.1fW\n",
+			pmu.Lookup(id).Short, m.Alpha[i], m.Fit.StdErr[i+1], loTr, hiTr, loTe, hiTe,
+			m.Alpha[i]*(hiTe-hiTr)*2.4)
+	}
+	// Worst predictions.
+	for _, r := range test.Rows {
+		p := m.Predict(r)
+		if ape := (p - r.PowerW) / r.PowerW * 100; ape > 50 || ape < -50 {
+			fmt.Printf("  %-10s f=%d: actual %.1f predicted %.1f\n", r.Workload, r.FreqMHz, r.PowerW, p)
+		}
+	}
+}

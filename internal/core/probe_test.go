@@ -1,0 +1,117 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"testing"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/stats"
+	"pmcpower/internal/workloads"
+)
+
+// TestProbeSelection prints the selection path, PCC table and CV
+// numbers when run with -v; a calibration aid.
+func TestProbeSelection(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("probe output only with -v")
+	}
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: 42}, workloads.Active(), []int{2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("dataset: %d rows\n", len(ds.Rows))
+
+	// Power range.
+	minP, maxP := 1e9, 0.0
+	for _, r := range ds.Rows {
+		if r.PowerW < minP {
+			minP = r.PowerW
+		}
+		if r.PowerW > maxP {
+			maxP = r.PowerW
+		}
+	}
+	fmt.Printf("power range: %.1f – %.1f W\n", minP, maxP)
+
+	steps, err := SelectEvents(ds.Rows, SelectOptions{Count: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("selection path (all workloads, 2400 MHz):")
+	for i, s := range steps {
+		fmt.Printf("  %d. %-8s R²=%.3f Adj.R²=%.3f meanVIF=%.3f\n",
+			i+1, pmu.Lookup(s.Event).Short, s.R2, s.AdjR2, s.MeanVIF)
+	}
+
+	// Candidate race at steps 4..6: who competes with the winner?
+	sel := Events(steps)
+	for step := 3; step <= 5; step++ {
+		base := sel[:step]
+		type cand struct {
+			name string
+			r2   float64
+		}
+		var cands []cand
+		for _, id := range pmu.AllIDs() {
+			dup := false
+			for _, s := range base {
+				if s == id {
+					dup = true
+				}
+			}
+			if dup {
+				continue
+			}
+			m, err := Train(ds.Rows, append(append([]pmu.EventID(nil), base...), id), TrainOptions{})
+			if err != nil {
+				continue
+			}
+			cands = append(cands, cand{pmu.Lookup(id).Short, m.R2()})
+		}
+		sort.Slice(cands, func(i, j int) bool { return cands[i].r2 > cands[j].r2 })
+		fmt.Printf("step %d race:", step+1)
+		for i := 0; i < 8 && i < len(cands); i++ {
+			fmt.Printf(" %s=%.4f", cands[i].name, cands[i].r2)
+		}
+		fmt.Println()
+	}
+
+	// PCC of each counter with power.
+	type pc struct {
+		name string
+		pcc  float64
+	}
+	power := make([]float64, len(ds.Rows))
+	for i, r := range ds.Rows {
+		power[i] = r.PowerW
+	}
+	var pcs []pc
+	for _, id := range pmu.AllIDs() {
+		rates := make([]float64, len(ds.Rows))
+		for i, r := range ds.Rows {
+			rates[i] = EventRate(r, id)
+		}
+		pcs = append(pcs, pc{pmu.Lookup(id).Short, stats.Pearson(rates, power)})
+	}
+	sort.Slice(pcs, func(i, j int) bool { return pcs[i].pcc > pcs[j].pcc })
+	fmt.Println("top/bottom PCC with power:")
+	for i, p := range pcs {
+		if i < 10 || i >= len(pcs)-5 {
+			fmt.Printf("  %-8s %+.2f\n", p.name, p.pcc)
+		}
+	}
+
+	// Selection on synthetic only (Table IV analogue).
+	syn := ds.ByClass(workloads.Synthetic)
+	steps2, err := SelectEvents(syn.Rows, SelectOptions{Count: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Println("selection path (synthetic only):")
+	for i, s := range steps2 {
+		fmt.Printf("  %d. %-8s R²=%.3f Adj.R²=%.3f meanVIF=%.3f\n",
+			i+1, pmu.Lookup(s.Event).Short, s.R2, s.AdjR2, s.MeanVIF)
+	}
+}

@@ -1,0 +1,142 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/stats"
+)
+
+// SelectionStep records one iteration of Algorithm 1: the event that
+// maximized R² given the previously selected events, together with the
+// model quality and the mean VIF of the selected set after adding it.
+type SelectionStep struct {
+	Event pmu.EventID
+	R2    float64
+	AdjR2 float64
+	// MeanVIF is the mean variance inflation factor across the
+	// selected events' rate columns after this step; NaN for the first
+	// step (a single column has no VIF — "n/a" in the paper's tables).
+	MeanVIF float64
+	// VIFs are the per-event VIFs of the selected set after this step,
+	// aligned with the selection order.
+	VIFs []float64
+}
+
+// SelectOptions configures Algorithm 1.
+type SelectOptions struct {
+	// Count is the number of events to select (the paper uses 6, and
+	// examines the consequences of a 7th).
+	Count int
+	// Candidates restricts the candidate pool; defaults to all 54
+	// presets.
+	Candidates []pmu.EventID
+	// InitWithCycles seeds selectedEvents with the cycle counter, as
+	// Walker et al. do on ARM. The paper drops this initialization
+	// ("Preliminary tests have shown, that initializing the events
+	// with the processor cycle counter neither improves nor worsens
+	// the accuracy of the resulting model significantly"); the flag
+	// exists for the ablation experiment.
+	InitWithCycles bool
+}
+
+// SelectEvents runs Algorithm 1 over the dataset rows: greedy forward
+// selection of PMC events by the R² of the Equation-1 model, with VIF
+// bookkeeping after each addition. The returned steps are in selection
+// order (the order of the paper's Tables I and IV).
+func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep, error) {
+	if opts.Count < 1 {
+		return nil, fmt.Errorf("core: SelectEvents needs Count >= 1, got %d", opts.Count)
+	}
+	candidates := opts.Candidates
+	if len(candidates) == 0 {
+		candidates = pmu.AllIDs()
+	}
+	if opts.Count > len(candidates) {
+		return nil, fmt.Errorf("core: cannot select %d events from %d candidates", opts.Count, len(candidates))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+
+	selected := make([]pmu.EventID, 0, opts.Count)
+	inSelected := make(map[pmu.EventID]bool)
+	var steps []SelectionStep
+
+	appendStep := func(id pmu.EventID, r2, adjR2 float64) error {
+		selected = append(selected, id)
+		inSelected[id] = true
+		step := SelectionStep{Event: id, R2: r2, AdjR2: adjR2, MeanVIF: math.NaN()}
+		if len(selected) >= 2 {
+			vifs, err := stats.VIF(RateMatrix(rows, selected))
+			if err != nil {
+				// A perfectly collinear addition: report +Inf rather
+				// than failing — the paper's workflow needs to *see*
+				// the blow-up.
+				vifs = make([]float64, len(selected))
+				for i := range vifs {
+					vifs[i] = math.Inf(1)
+				}
+			}
+			step.VIFs = vifs
+			step.MeanVIF = stats.Mean(vifs)
+		}
+		steps = append(steps, step)
+		return nil
+	}
+
+	if opts.InitWithCycles {
+		cyc := pmu.MustByName("TOT_CYC").ID
+		m, err := Train(rows, []pmu.EventID{cyc}, TrainOptions{})
+		if err != nil {
+			return nil, err
+		}
+		if err := appendStep(cyc, m.R2(), m.AdjR2()); err != nil {
+			return nil, err
+		}
+	}
+
+	for len(selected) < opts.Count {
+		bestR2 := math.Inf(-1)
+		bestAdj := 0.0
+		var bestEvent pmu.EventID = -1
+		for _, cand := range candidates {
+			if inSelected[cand] {
+				continue
+			}
+			trial := append(append([]pmu.EventID(nil), selected...), cand)
+			m, err := Train(rows, trial, TrainOptions{})
+			if err != nil {
+				// Candidate makes the design rank-deficient (e.g. a
+				// counter that is an exact linear combination of the
+				// selected ones) — skip it, exactly as a statsmodels
+				// workflow would discard a failed fit.
+				continue
+			}
+			if m.R2() > bestR2 {
+				bestR2 = m.R2()
+				bestAdj = m.AdjR2()
+				bestEvent = cand
+			}
+		}
+		if bestEvent < 0 {
+			return nil, fmt.Errorf("core: no fittable candidate left after %d selections", len(selected))
+		}
+		if err := appendStep(bestEvent, bestR2, bestAdj); err != nil {
+			return nil, err
+		}
+	}
+	return steps, nil
+}
+
+// Events extracts the selected event IDs from selection steps, in
+// order.
+func Events(steps []SelectionStep) []pmu.EventID {
+	out := make([]pmu.EventID, len(steps))
+	for i, s := range steps {
+		out[i] = s.Event
+	}
+	return out
+}

@@ -1,0 +1,409 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/stats"
+)
+
+// This file implements the paper's future-work direction: "analyzing
+// different statistical algorithms and heuristic criterions for
+// selecting PMC events as variables for the regression based power
+// models". Each strategy produces a fixed-size counter set comparable
+// against Algorithm 1 on accuracy, stability and multicollinearity.
+
+// Strategy enumerates counter-selection algorithms.
+type Strategy int
+
+const (
+	// StrategyGreedyR2 is Algorithm 1: greedy forward selection by
+	// model R² (the paper's method).
+	StrategyGreedyR2 Strategy = iota
+	// StrategyBackward starts from all (linearly independent)
+	// candidates and iteratively eliminates the event with the least
+	// significant coefficient until Count remain.
+	StrategyBackward
+	// StrategyPCC ranks candidates by |Pearson correlation| of their
+	// rate with power and takes the top Count — the naive approach the
+	// paper's Table III implicitly argues against.
+	StrategyPCC
+	// StrategyAIC is greedy forward selection by the Akaike
+	// information criterion instead of raw R².
+	StrategyAIC
+	// StrategyLasso runs an L1-regularized fit over a shrinking
+	// penalty path and selects the first Count events to enter the
+	// active set.
+	StrategyLasso
+)
+
+func (s Strategy) String() string {
+	switch s {
+	case StrategyGreedyR2:
+		return "greedy R² (Algorithm 1)"
+	case StrategyBackward:
+		return "backward elimination"
+	case StrategyPCC:
+		return "top-|PCC| ranking"
+	case StrategyAIC:
+		return "greedy AIC"
+	case StrategyLasso:
+		return "LASSO path"
+	default:
+		return fmt.Sprintf("Strategy(%d)", int(s))
+	}
+}
+
+// AllStrategies lists every implemented selection strategy.
+func AllStrategies() []Strategy {
+	return []Strategy{StrategyGreedyR2, StrategyBackward, StrategyPCC, StrategyAIC, StrategyLasso}
+}
+
+// SelectWithStrategy selects count events from the candidates (default
+// all presets) using the given strategy.
+func SelectWithStrategy(rows []*acquisition.Row, strategy Strategy, count int, candidates []pmu.EventID) ([]pmu.EventID, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("core: need count >= 1, got %d", count)
+	}
+	if len(candidates) == 0 {
+		candidates = pmu.AllIDs()
+	}
+	if count > len(candidates) {
+		return nil, fmt.Errorf("core: cannot select %d from %d candidates", count, len(candidates))
+	}
+	if len(rows) == 0 {
+		return nil, fmt.Errorf("core: empty dataset")
+	}
+	switch strategy {
+	case StrategyGreedyR2:
+		steps, err := SelectEvents(rows, SelectOptions{Count: count, Candidates: candidates})
+		if err != nil {
+			return nil, err
+		}
+		return Events(steps), nil
+	case StrategyBackward:
+		return backwardEliminate(rows, count, candidates)
+	case StrategyPCC:
+		return pccRank(rows, count, candidates), nil
+	case StrategyAIC:
+		return aicForward(rows, count, candidates)
+	case StrategyLasso:
+		return lassoPath(rows, count, candidates)
+	default:
+		return nil, fmt.Errorf("core: unknown strategy %v", strategy)
+	}
+}
+
+// independentSubset greedily filters candidates to a set whose
+// Equation-1 design matrix is full rank, in candidate order. Needed
+// because many PAPI presets are exact linear combinations of others
+// (L1_TCM = L1_DCM + L1_ICM, …), which would make the all-counter
+// design singular.
+func independentSubset(rows []*acquisition.Row, candidates []pmu.EventID) []pmu.EventID {
+	var kept []pmu.EventID
+	for _, cand := range candidates {
+		trial := append(append([]pmu.EventID(nil), kept...), cand)
+		if len(trial)+3 > len(rows) {
+			break // keep the design comfortably overdetermined
+		}
+		if _, err := Train(rows, trial, TrainOptions{}); err == nil {
+			kept = append(kept, cand)
+		}
+	}
+	return kept
+}
+
+func backwardEliminate(rows []*acquisition.Row, count int, candidates []pmu.EventID) ([]pmu.EventID, error) {
+	current := independentSubset(rows, candidates)
+	if len(current) < count {
+		return nil, fmt.Errorf("core: only %d independent candidates for backward elimination", len(current))
+	}
+	for len(current) > count {
+		m, err := Train(rows, current, TrainOptions{})
+		if err != nil {
+			return nil, err
+		}
+		// Coefficient t-statistics of the event features: indices
+		// 1..len(current) of the fit (0 is the intercept).
+		worst, worstT := -1, math.Inf(1)
+		for i := range current {
+			t := math.Abs(m.Fit.TStats[i+1])
+			if t < worstT {
+				worst, worstT = i, t
+			}
+		}
+		current = append(current[:worst], current[worst+1:]...)
+	}
+	return pmu.SortIDs(current), nil
+}
+
+func pccRank(rows []*acquisition.Row, count int, candidates []pmu.EventID) []pmu.EventID {
+	power := make([]float64, len(rows))
+	for i, r := range rows {
+		power[i] = r.PowerW
+	}
+	type scored struct {
+		id  pmu.EventID
+		abs float64
+	}
+	var all []scored
+	for _, id := range candidates {
+		rates := make([]float64, len(rows))
+		for i, r := range rows {
+			rates[i] = EventRate(r, id)
+		}
+		pcc := stats.Pearson(rates, power)
+		if math.IsNaN(pcc) {
+			continue
+		}
+		all = append(all, scored{id, math.Abs(pcc)})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].abs != all[j].abs {
+			return all[i].abs > all[j].abs
+		}
+		return all[i].id < all[j].id
+	})
+	if count > len(all) {
+		count = len(all)
+	}
+	out := make([]pmu.EventID, count)
+	for i := 0; i < count; i++ {
+		out[i] = all[i].id
+	}
+	return out
+}
+
+func aicForward(rows []*acquisition.Row, count int, candidates []pmu.EventID) ([]pmu.EventID, error) {
+	n := float64(len(rows))
+	aicOf := func(events []pmu.EventID) (float64, error) {
+		m, err := Train(rows, events, TrainOptions{})
+		if err != nil {
+			return 0, err
+		}
+		var ssr float64
+		for _, e := range m.Fit.Residuals {
+			ssr += e * e
+		}
+		k := float64(m.Fit.K)
+		return n*math.Log(ssr/n) + 2*k, nil
+	}
+	var selected []pmu.EventID
+	in := map[pmu.EventID]bool{}
+	for len(selected) < count {
+		best, bestAIC := pmu.EventID(-1), math.Inf(1)
+		for _, cand := range candidates {
+			if in[cand] {
+				continue
+			}
+			trial := append(append([]pmu.EventID(nil), selected...), cand)
+			aic, err := aicOf(trial)
+			if err != nil {
+				continue
+			}
+			if aic < bestAIC {
+				best, bestAIC = cand, aic
+			}
+		}
+		if best < 0 {
+			return nil, fmt.Errorf("core: AIC selection stuck after %d events", len(selected))
+		}
+		selected = append(selected, best)
+		in[best] = true
+	}
+	return selected, nil
+}
+
+// lassoPath selects events by the order they enter an L1-regularized
+// Equation-1 fit as the penalty shrinks. Only the event features are
+// penalized; the V²f, V and intercept terms stay unpenalized. Features
+// are standardized internally.
+func lassoPath(rows []*acquisition.Row, count int, candidates []pmu.EventID) ([]pmu.EventID, error) {
+	// Drop zero-variance candidates (their standardized column is
+	// undefined).
+	var events []pmu.EventID
+	for _, id := range candidates {
+		var lo, hi float64 = math.Inf(1), math.Inf(-1)
+		for _, r := range rows {
+			v := EventRate(r, id)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+		if hi > lo {
+			events = append(events, id)
+		}
+	}
+	x, y, err := DesignMatrix(rows, events)
+	if err != nil {
+		return nil, err
+	}
+	n, p := x.Rows(), x.Cols()
+
+	// Standardize all columns; center the target.
+	mu := make([]float64, p)
+	sd := make([]float64, p)
+	for j := 0; j < p; j++ {
+		col := x.Col(j)
+		mu[j] = stats.Mean(col)
+		sd[j] = stats.StdDev(col)
+		if sd[j] == 0 {
+			sd[j] = 1
+		}
+		for i := 0; i < n; i++ {
+			x.Set(i, j, (x.At(i, j)-mu[j])/sd[j])
+		}
+	}
+	ybar := stats.Mean(y)
+	resid := make([]float64, n)
+	for i := range y {
+		resid[i] = y[i] - ybar
+	}
+
+	beta := make([]float64, p)
+	penalized := func(j int) bool { return j < len(events) }
+
+	// λ_max: smallest penalty at which all penalized coefficients are
+	// zero.
+	lambdaMax := 0.0
+	for j := 0; j < p; j++ {
+		if !penalized(j) {
+			continue
+		}
+		var dot float64
+		for i := 0; i < n; i++ {
+			dot += x.At(i, j) * resid[i]
+		}
+		if a := math.Abs(dot) / float64(n); a > lambdaMax {
+			lambdaMax = a
+		}
+	}
+	if lambdaMax == 0 {
+		return nil, fmt.Errorf("core: lasso: no signal in penalized features")
+	}
+
+	var order []pmu.EventID
+	entered := make(map[int]bool)
+	lambda := lambdaMax
+	for step := 0; step < 120 && len(order) < count; step++ {
+		lambda *= 0.90
+		// Cyclic coordinate descent at this λ.
+		for sweep := 0; sweep < 300; sweep++ {
+			maxDelta := 0.0
+			for j := 0; j < p; j++ {
+				var dot float64
+				for i := 0; i < n; i++ {
+					dot += x.At(i, j) * resid[i]
+				}
+				// Columns are standardized: Σx² = n−1 ≈ n.
+				z := dot/float64(n) + beta[j]
+				var newB float64
+				if penalized(j) {
+					newB = softThreshold(z, lambda)
+				} else {
+					newB = z
+				}
+				if d := newB - beta[j]; d != 0 {
+					for i := 0; i < n; i++ {
+						resid[i] -= d * x.At(i, j)
+					}
+					beta[j] = newB
+					if a := math.Abs(d); a > maxDelta {
+						maxDelta = a
+					}
+				}
+			}
+			if maxDelta < 1e-7 {
+				break
+			}
+		}
+		// Record newly active events in deterministic column order.
+		for j := 0; j < len(events); j++ {
+			if !entered[j] && beta[j] != 0 {
+				entered[j] = true
+				order = append(order, events[j])
+				if len(order) == count {
+					break
+				}
+			}
+		}
+	}
+	if len(order) < count {
+		return nil, fmt.Errorf("core: lasso path activated only %d of %d requested events", len(order), count)
+	}
+	return order, nil
+}
+
+func softThreshold(z, lambda float64) float64 {
+	switch {
+	case z > lambda:
+		return z - lambda
+	case z < -lambda:
+		return z + lambda
+	default:
+		return 0
+	}
+}
+
+// StrategyComparison evaluates one strategy's selected set on the
+// metrics the paper cares about.
+type StrategyComparison struct {
+	Strategy Strategy
+	Events   []pmu.EventID
+	// R2 is the in-sample fit on the selection dataset.
+	R2 float64
+	// MeanVIF quantifies the multicollinearity of the set.
+	MeanVIF float64
+	// CVMAPE is the 10-fold cross-validated MAPE on the evaluation
+	// dataset.
+	CVMAPE float64
+	// TransferMAPE is the scenario-2 style MAPE (train synthetic,
+	// test SPEC) — the stability criterion.
+	TransferMAPE float64
+}
+
+// CompareStrategies runs every strategy on the selection rows and
+// evaluates the resulting sets on the evaluation rows.
+func CompareStrategies(selRows, evalRows []*acquisition.Row, count int, cvSeed uint64) ([]StrategyComparison, error) {
+	var out []StrategyComparison
+	for _, s := range AllStrategies() {
+		events, err := SelectWithStrategy(selRows, s, count, nil)
+		if err != nil {
+			return nil, fmt.Errorf("core: strategy %v: %w", s, err)
+		}
+		cmp := StrategyComparison{Strategy: s, Events: events}
+
+		m, err := Train(selRows, events, TrainOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: strategy %v refit: %w", s, err)
+		}
+		cmp.R2 = m.R2()
+		vif, err := stats.MeanVIF(RateMatrix(selRows, events))
+		if err == nil {
+			cmp.MeanVIF = vif
+		} else {
+			cmp.MeanVIF = math.Inf(1)
+		}
+
+		cv, err := CrossValidate(evalRows, events, 10, cvSeed)
+		if err != nil {
+			return nil, fmt.Errorf("core: strategy %v CV: %w", s, err)
+		}
+		cmp.CVMAPE = cv.MAPESummary().Mean
+
+		ds := &acquisition.Dataset{Rows: evalRows}
+		s2, err := Scenario2(ds, events)
+		if err != nil {
+			return nil, fmt.Errorf("core: strategy %v scenario 2: %w", s, err)
+		}
+		cmp.TransferMAPE = s2.MAPE
+		out = append(out, cmp)
+	}
+	return out, nil
+}

@@ -1,0 +1,251 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/rng"
+	"pmcpower/internal/stats"
+	"pmcpower/internal/workloads"
+)
+
+// Prediction pairs one dataset row with its out-of-sample power
+// estimate — one point of the paper's Figure 5 scatter plots.
+type Prediction struct {
+	Row       *acquisition.Row
+	Actual    float64
+	Predicted float64
+}
+
+// APE returns the absolute percentage error of the prediction.
+func (p Prediction) APE() float64 {
+	if p.Actual == 0 {
+		return 0
+	}
+	ape := (p.Actual - p.Predicted) / p.Actual * 100
+	if ape < 0 {
+		ape = -ape
+	}
+	return ape
+}
+
+// CVFold summarizes one fold of k-fold cross validation: the training
+// fit quality and the held-out error.
+type CVFold struct {
+	TrainR2    float64
+	TrainAdjR2 float64
+	TestMAPE   float64
+}
+
+// CVResult is the outcome of k-fold cross validation with random
+// indexing (paper §IV-B, Table II).
+type CVResult struct {
+	Folds []CVFold
+	// Predictions holds the out-of-fold prediction for every row —
+	// each row is in exactly one test set.
+	Predictions []Prediction
+}
+
+// R2Summary summarizes the per-fold training R² values (Table II row 1).
+func (c *CVResult) R2Summary() stats.Summary {
+	return summarize(c.Folds, func(f CVFold) float64 { return f.TrainR2 })
+}
+
+// AdjR2Summary summarizes the per-fold Adj.R² values (Table II row 2).
+func (c *CVResult) AdjR2Summary() stats.Summary {
+	return summarize(c.Folds, func(f CVFold) float64 { return f.TrainAdjR2 })
+}
+
+// MAPESummary summarizes the per-fold held-out MAPE values (Table II
+// row 3).
+func (c *CVResult) MAPESummary() stats.Summary {
+	return summarize(c.Folds, func(f CVFold) float64 { return f.TestMAPE })
+}
+
+func summarize(folds []CVFold, get func(CVFold) float64) stats.Summary {
+	xs := make([]float64, len(folds))
+	for i, f := range folds {
+		xs[i] = get(f)
+	}
+	return stats.Summarize(xs)
+}
+
+// OverallMAPE returns the MAPE over all out-of-fold predictions.
+func (c *CVResult) OverallMAPE() float64 {
+	actual := make([]float64, len(c.Predictions))
+	pred := make([]float64, len(c.Predictions))
+	for i, p := range c.Predictions {
+		actual[i] = p.Actual
+		pred[i] = p.Predicted
+	}
+	return stats.MAPE(actual, pred)
+}
+
+// PerWorkloadMAPE groups the out-of-fold predictions by workload and
+// returns each workload's MAPE across all DVFS states — the data
+// behind the paper's Figure 3.
+func (c *CVResult) PerWorkloadMAPE() map[string]float64 {
+	apes := make(map[string][]float64)
+	for _, p := range c.Predictions {
+		apes[p.Row.Workload] = append(apes[p.Row.Workload], p.APE())
+	}
+	out := make(map[string]float64, len(apes))
+	for w, xs := range apes {
+		out[w] = stats.Mean(xs)
+	}
+	return out
+}
+
+// CrossValidate performs k-fold cross validation of the Equation-1
+// model with the given events over the rows, shuffling with the
+// supplied seed ("10-fold cross validation with random indexing").
+func CrossValidate(rows []*acquisition.Row, events []pmu.EventID, k int, seed uint64) (*CVResult, error) {
+	if len(rows) < k {
+		return nil, fmt.Errorf("core: %d rows cannot form %d folds", len(rows), k)
+	}
+	folds := stats.KFold(len(rows), k, rng.New(seed))
+	res := &CVResult{}
+	for fi, fold := range folds {
+		train := subset(rows, fold.Train)
+		test := subset(rows, fold.Test)
+		m, err := Train(train, events, TrainOptions{})
+		if err != nil {
+			return nil, fmt.Errorf("core: fold %d: %w", fi, err)
+		}
+		cf := CVFold{TrainR2: m.R2(), TrainAdjR2: m.AdjR2()}
+		actual := make([]float64, len(test))
+		pred := m.PredictAll(test)
+		for i, r := range test {
+			actual[i] = r.PowerW
+			res.Predictions = append(res.Predictions, Prediction{Row: r, Actual: r.PowerW, Predicted: pred[i]})
+		}
+		cf.TestMAPE = stats.MAPE(actual, pred)
+		res.Folds = append(res.Folds, cf)
+	}
+	return res, nil
+}
+
+func subset(rows []*acquisition.Row, idx []int) []*acquisition.Row {
+	out := make([]*acquisition.Row, len(idx))
+	for i, j := range idx {
+		out[i] = rows[j]
+	}
+	return out
+}
+
+// ScenarioResult is the outcome of one of the paper's four validation
+// scenarios (§IV-B, Figure 4).
+type ScenarioResult struct {
+	Name           string
+	TrainWorkloads []string
+	TrainRows      int
+	TestRows       int
+	MAPE           float64
+	Predictions    []Prediction
+}
+
+// Scenario1 trains on four random workloads — two drawn from each
+// suite, so the training set spans both synthetic kernels and
+// application behaviour — and validates on the rest.
+func Scenario1(ds *acquisition.Dataset, events []pmu.EventID, seed uint64) (*ScenarioResult, error) {
+	var synth, spec []string
+	for _, w := range ds.Workloads() {
+		isSpec := false
+		for _, row := range ds.Rows {
+			if row.Workload == w {
+				isSpec = row.Class == workloads.SPEC
+				break
+			}
+		}
+		if isSpec {
+			spec = append(spec, w)
+		} else {
+			synth = append(synth, w)
+		}
+	}
+	if len(synth) < 2 || len(spec) < 2 || len(synth)+len(spec) <= 4 {
+		return nil, fmt.Errorf("core: scenario 1 needs more than 4 workloads across both suites (have %d+%d)", len(synth), len(spec))
+	}
+	r := rng.New(seed)
+	train := map[string]bool{}
+	var trainNames []string
+	for _, pool := range [][]string{synth, spec} {
+		perm := r.Perm(len(pool))
+		for _, i := range perm[:2] {
+			train[pool[i]] = true
+			trainNames = append(trainNames, pool[i])
+		}
+	}
+	sort.Strings(trainNames)
+	trainDS := ds.Filter(func(row *acquisition.Row) bool { return train[row.Workload] })
+	testDS := ds.Filter(func(row *acquisition.Row) bool { return !train[row.Workload] })
+	return holdout("scenario 1: four random workloads", trainNames, trainDS.Rows, testDS.Rows, events)
+}
+
+// Scenario2 trains on all synthetic (roco2) workloads and validates on
+// all SPEC OMP2012 workloads — the paper's worst case ("the synthetic
+// workloads are not diverse enough to create a stable model").
+func Scenario2(ds *acquisition.Dataset, events []pmu.EventID) (*ScenarioResult, error) {
+	trainDS := ds.ByClass(workloads.Synthetic)
+	testDS := ds.ByClass(workloads.SPEC)
+	return holdout("scenario 2: train synthetic, validate SPEC", trainDS.Workloads(), trainDS.Rows, testDS.Rows, events)
+}
+
+// Scenario3 is 10-fold cross validation over all experiments.
+func Scenario3(ds *acquisition.Dataset, events []pmu.EventID, seed uint64) (*ScenarioResult, error) {
+	cv, err := CrossValidate(ds.Rows, events, 10, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Name:        "scenario 3: 10-fold CV on all experiments",
+		TrainRows:   len(ds.Rows),
+		TestRows:    len(ds.Rows),
+		MAPE:        cv.MAPESummary().Mean,
+		Predictions: cv.Predictions,
+	}, nil
+}
+
+// Scenario4 is 10-fold cross validation over the synthetic workload
+// experiments only — the paper's most accurate but least realistic
+// case.
+func Scenario4(ds *acquisition.Dataset, events []pmu.EventID, seed uint64) (*ScenarioResult, error) {
+	syn := ds.ByClass(workloads.Synthetic)
+	cv, err := CrossValidate(syn.Rows, events, 10, seed)
+	if err != nil {
+		return nil, err
+	}
+	return &ScenarioResult{
+		Name:        "scenario 4: 10-fold CV on synthetic experiments",
+		TrainRows:   len(syn.Rows),
+		TestRows:    len(syn.Rows),
+		MAPE:        cv.MAPESummary().Mean,
+		Predictions: cv.Predictions,
+	}, nil
+}
+
+func holdout(name string, trainNames []string, trainRows, testRows []*acquisition.Row, events []pmu.EventID) (*ScenarioResult, error) {
+	if len(trainRows) == 0 || len(testRows) == 0 {
+		return nil, fmt.Errorf("core: %s: empty train (%d) or test (%d) set", name, len(trainRows), len(testRows))
+	}
+	m, err := Train(trainRows, events, TrainOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	res := &ScenarioResult{
+		Name:           name,
+		TrainWorkloads: trainNames,
+		TrainRows:      len(trainRows),
+		TestRows:       len(testRows),
+	}
+	actual := make([]float64, len(testRows))
+	pred := m.PredictAll(testRows)
+	for i, r := range testRows {
+		actual[i] = r.PowerW
+		res.Predictions = append(res.Predictions, Prediction{Row: r, Actual: r.PowerW, Predicted: pred[i]})
+	}
+	res.MAPE = stats.MAPE(actual, pred)
+	return res, nil
+}

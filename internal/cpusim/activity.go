@@ -1,0 +1,109 @@
+package cpusim
+
+// Activity holds everything the simulated node "did" during one
+// steady-state execution interval: aggregate event totals across all
+// cores, plus the hidden activity factors the ground-truth power model
+// consumes. Event fields are totals over the interval (not rates).
+//
+// The PMC view exposed to the modeling workflow (via Counters) is a
+// strict subset of this information — several power-relevant fields
+// (MemBytes, AVXActiveCycles, RingTraffic, bandwidth utilization) have
+// no corresponding PAPI preset, which is what gives the regression
+// model a realistic irreducible error.
+type Activity struct {
+	// Run identification.
+	DurationS float64
+	FreqMHz   int
+	Threads   int
+
+	// CoreVoltageV is the average supply voltage across active cores,
+	// including load-dependent droop (readable at runtime on real
+	// Haswell parts, which is why the paper needs no voltage model).
+	CoreVoltageV float64
+
+	// --- architectural event totals (node aggregate) ---
+
+	Cycles       float64 // unhalted core cycles
+	RefCycles    float64 // reference (TSC-rate) unhalted cycles
+	Instructions float64
+
+	Loads  float64
+	Stores float64
+
+	CondBranches   float64
+	UncondBranches float64
+	TakenCond      float64
+	MispCond       float64
+
+	L1DMissLoads  float64
+	L1DMissStores float64
+	L1IMiss       float64
+	L2DMissRead   float64
+	L2DMissWrite  float64
+	L2IMiss       float64
+	L3Miss        float64
+
+	Prefetches   float64
+	PrefetchMiss float64
+	TLBDMiss     float64
+	TLBIMiss     float64
+
+	StallIssueCycles    float64 // cycles with no instruction issue
+	FullIssueCycles     float64 // cycles at maximum issue width
+	StallCompleteCycles float64 // cycles with no instruction completed
+	FullCompleteCycles  float64 // cycles with maximum completion
+	ResStallCycles      float64 // cycles stalled on any resource
+	MemWriteCycles      float64 // cycles waiting for memory writes
+
+	Snoops float64
+
+	SPOps    float64 // single-precision FLOPs (scalar + vector×width)
+	DPOps    float64
+	VecSPIns float64 // packed SP instructions
+	VecDPIns float64
+
+	// --- hidden power-relevant activity (no PAPI preset) ---
+
+	// MemBytes is total DRAM traffic in bytes.
+	MemBytes float64
+	// MemWriteBytes is the write-back share of MemBytes.
+	MemWriteBytes float64
+	// MemBWUtil is the achieved fraction of peak DRAM bandwidth,
+	// after contention, in [0,1).
+	MemBWUtil float64
+	// AVXActiveCycles is the number of cycles the 256-bit FP datapath
+	// was powered up.
+	AVXActiveCycles float64
+	// RingTraffic counts uncore ring transactions (L2 miss traffic,
+	// prefetches, snoops).
+	RingTraffic float64
+	// ActiveCores per socket (socket 0 fills first — compact pinning).
+	ActiveCores [2]int
+	// EffCPI is the effective cycles-per-instruction achieved.
+	EffCPI float64
+}
+
+// IPC returns retired instructions per unhalted cycle.
+func (a *Activity) IPC() float64 {
+	if a.Cycles == 0 {
+		return 0
+	}
+	return a.Instructions / a.Cycles
+}
+
+// L1DMiss returns total L1 data-cache misses (loads + stores).
+func (a *Activity) L1DMiss() float64 { return a.L1DMissLoads + a.L1DMissStores }
+
+// L2DMiss returns total L2 data misses (reads + writes/RFOs).
+func (a *Activity) L2DMiss() float64 { return a.L2DMissRead + a.L2DMissWrite }
+
+// Branches returns total branch instructions.
+func (a *Activity) Branches() float64 { return a.CondBranches + a.UncondBranches }
+
+// MemBandwidthGBs returns the achieved DRAM bandwidth in GB/s.
+func (a *Activity) MemBandwidthGBs() float64 {
+	if a.DurationS == 0 {
+		return 0
+	}
+	return a.MemBytes / a.DurationS / 1e9
+}

@@ -1,0 +1,309 @@
+package cpusim
+
+import (
+	"fmt"
+	"math"
+
+	"pmcpower/internal/rng"
+	"pmcpower/internal/workloads"
+)
+
+// RunConfig describes one steady-state execution of a workload phase.
+type RunConfig struct {
+	Workload *workloads.Workload
+	// PhaseIdx selects the phase of the workload to execute.
+	PhaseIdx int
+	FreqMHz  int
+	Threads  int
+	// DurationS is the simulated wall time of the phase in seconds.
+	DurationS float64
+}
+
+// Executor runs workload phases on a platform.
+type Executor struct {
+	platform *Platform
+}
+
+// NewExecutor returns an executor for the given platform. It panics on
+// an invalid platform — platform definitions are compile-time data.
+func NewExecutor(p *Platform) *Executor {
+	if err := p.Validate(); err != nil {
+		panic(err)
+	}
+	return &Executor{platform: p}
+}
+
+// Platform returns the executor's platform.
+func (e *Executor) Platform() *Platform { return e.platform }
+
+// Execute simulates one steady-state run of cfg and returns the
+// resulting node-aggregate activity. The rnd stream provides the
+// run-to-run variation real measurements exhibit (OS noise, thermal
+// state, sampling alignment); passing the same generator state yields
+// bit-identical results.
+func (e *Executor) Execute(cfg RunConfig, rnd *rng.Rand) (*Activity, error) {
+	p := e.platform
+	if cfg.Workload == nil {
+		return nil, fmt.Errorf("cpusim: nil workload")
+	}
+	if cfg.PhaseIdx < 0 || cfg.PhaseIdx >= len(cfg.Workload.Phases) {
+		return nil, fmt.Errorf("cpusim: workload %s has no phase %d", cfg.Workload.Name, cfg.PhaseIdx)
+	}
+	if cfg.Threads < 1 || cfg.Threads > p.TotalCores() {
+		return nil, fmt.Errorf("cpusim: thread count %d outside [1,%d]", cfg.Threads, p.TotalCores())
+	}
+	if cfg.DurationS <= 0 {
+		return nil, fmt.Errorf("cpusim: non-positive duration %v", cfg.DurationS)
+	}
+	ps, err := p.PStateFor(cfg.FreqMHz)
+	if err != nil {
+		return nil, err
+	}
+	ph := &cfg.Workload.Phases[cfg.PhaseIdx]
+
+	fGHz := float64(cfg.FreqMHz) / 1000
+	n := cfg.Threads
+
+	// Compact pinning: socket 0 fills first.
+	n0 := n
+	if n0 > p.CoresPerSocket {
+		n0 = p.CoresPerSocket
+	}
+	n1 := n - n0
+
+	// Parallel efficiency interpolates from 1 at a single thread to
+	// ph.ParallelEff at full node width.
+	eff := 1.0
+	if p.TotalCores() > 1 {
+		eff = 1 - (1-ph.ParallelEff)*float64(n-1)/float64(p.TotalCores()-1)
+	}
+
+	// Effective memory-level parallelism (default 1).
+	mlp := ph.MLP
+	if mlp < 1 {
+		mlp = 1
+	}
+
+	// Hardware prefetchers are never fully idle: the L1/L2 streamers
+	// probe on every access stream, so even cache-resident kernels
+	// produce a trickle of prefetch activity proportional to their
+	// instruction throughput. This background makes PRF_DM a hybrid
+	// utilization x memory-traffic signal, as on real Haswell parts.
+	const prefBackgroundPKI = 0.45
+	effPrefPKI := ph.PrefPKI + 2*prefBackgroundPKI
+	effPrefMissPKI := ph.PrefMissPKI + prefBackgroundPKI
+
+	// Prefetch coverage: the share of L3 misses whose latency is
+	// hidden because a prefetch brought the line in flight early.
+	prefCoverage := 0.0
+	if ph.L3MissPKI > 0 {
+		prefCoverage = 0.85 * math.Min(1, ph.PrefMissPKI/ph.L3MissPKI)
+	}
+	demandMemPKI := ph.L3MissPKI * (1 - prefCoverage)
+
+	// DRAM traffic per instruction: line fills for every L3 miss and
+	// covering prefetch, plus write-back traffic for dirty lines.
+	bwPerInstr := ph.BWPerInstrOverride
+	if bwPerInstr == 0 {
+		bwPerInstr = 64 * (ph.L3MissPKI + ph.PrefMissPKI*0.5 + ph.L3MissPKI*ph.StoreMissShare) / 1000
+	}
+
+	// Fixed-point iteration: CPI depends on bandwidth contention,
+	// which depends on the instruction rate, which depends on CPI.
+	memLatCyc := p.MemLatencyNs * fGHz
+	cpi0 := 1 / (ph.BaseIPC * eff)
+	brStall := ph.CondBranchFrac * ph.MispFrac * p.MispredictCycles
+	stallL2 := (ph.L1DMissPKI + ph.L1IMissPKI) / 1000 * p.L2LatencyCycles / (mlp * 1.5)
+	stallL3 := (ph.L2DMissPKI + ph.L2IMissPKI) / 1000 * p.L3LatencyCycles / mlp
+	tlbStall := (ph.TLBDMissPKI + ph.TLBIMissPKI) / 1000 * 30 // page-walk cycles
+
+	// Bandwidth saturation: the per-core CPI cannot drop below the
+	// value at which the busiest socket's aggregate DRAM demand equals
+	// its peak bandwidth. Below saturation, queueing mildly inflates
+	// the memory latency.
+	cpiBW := 0.0
+	if bwPerInstr > 0 {
+		// Socket 0 is the most loaded under compact pinning.
+		cpiBW = bwPerInstr * fGHz * float64(n0) / p.PeakBWGBs
+	}
+	cpi := cpi0 + brStall + stallL2 + stallL3 + tlbStall + demandMemPKI/1000*memLatCyc/mlp
+	var util float64
+	for iter := 0; iter < 30; iter++ {
+		// Achieved per-core instruction rate under the current CPI.
+		instrPerSec := fGHz * 1e9 / cpi
+		// Mean bandwidth utilization across sockets (socket 1 may be
+		// partially populated or empty).
+		demand0 := instrPerSec * bwPerInstr * float64(n0) / 1e9 // GB/s
+		u0 := math.Min(demand0/p.PeakBWGBs, 1)
+		util = u0
+		if n1 > 0 {
+			demand1 := instrPerSec * bwPerInstr * float64(n1) / 1e9
+			u1 := math.Min(demand1/p.PeakBWGBs, 1)
+			util = (u0*float64(n0) + u1*float64(n1)) / float64(n)
+		}
+		// Mild queueing below the knee; the hard limit comes from
+		// cpiBW.
+		q := 1 + 0.8*util*util
+		newCPI := cpi0 + brStall + stallL2 + stallL3 + tlbStall +
+			demandMemPKI/1000*memLatCyc*q/mlp
+		if newCPI < cpiBW {
+			newCPI = cpiBW
+		}
+		if math.Abs(newCPI-cpi) < 1e-9 {
+			cpi = newCPI
+			break
+		}
+		cpi = newCPI
+	}
+
+	duty := ph.DutyCycle
+	if duty == 0 {
+		duty = 1
+	}
+
+	// Per-active-core totals over the phase.
+	cyclesPerCore := fGHz * 1e9 * cfg.DurationS * duty
+	instrPerCore := cyclesPerCore / cpi
+
+	// Small per-run jitter: thermal and OS state differ between runs.
+	jAll := rnd.Jitter(0.004)   // common mode
+	jMem := rnd.Jitter(0.01)    // memory subsystem
+	jBr := rnd.Jitter(0.008)    // speculation
+	jStall := rnd.Jitter(0.006) // stall accounting
+
+	activeCores := float64(n)
+	cycles := cyclesPerCore * activeCores * jAll
+	instr := instrPerCore * activeCores * jAll
+
+	// Housekeeping activity (timer ticks, kernel noise): idle cores
+	// wake for interrupts, and active cores take ticks too. Handler
+	// code runs from cold instruction caches, so this OS noise is the
+	// dominant source of instruction-side misses for the tiny-loop
+	// synthetic kernels — exactly as on a real system, and essential
+	// for keeping frontend counters statistically identified on the
+	// synthetic suite.
+	idleCores := float64(p.TotalCores() - n)
+	hkCycles := fGHz * 1e9 * cfg.DurationS * (0.002*idleCores + 0.0008*float64(n)) * rnd.Jitter(0.03)
+	hkInstr := hkCycles * 0.6
+	cycles += hkCycles
+	instr += hkInstr
+
+	a := &Activity{
+		DurationS: cfg.DurationS,
+		FreqMHz:   cfg.FreqMHz,
+		Threads:   n,
+
+		Cycles:       cycles,
+		RefCycles:    cycles * float64(p.NominalMHz) / float64(cfg.FreqMHz),
+		Instructions: instr,
+		EffCPI:       cpi,
+	}
+	a.ActiveCores[0] = n0
+	a.ActiveCores[1] = n1
+
+	// Load-dependent voltage droop plus measurement jitter: heavier
+	// current draw sags the rail slightly.
+	loadFactor := math.Min(1, 1/cpi) // rough activity proxy in [0,1]
+	a.CoreVoltageV = ps.VoltageV*(1-0.012*loadFactor)*rnd.Jitter(0.0015) + 0.0
+
+	// Instruction-mix event totals. Workload instructions only; the
+	// housekeeping slice uses a fixed light mix.
+	wInstr := instrPerCore * activeCores * jAll
+	mix := func(frac float64) float64 { return wInstr * frac }
+
+	a.Loads = mix(ph.LoadFrac) + hkInstr*0.2
+	a.Stores = mix(ph.StoreFrac) + hkInstr*0.1
+	a.CondBranches = mix(ph.CondBranchFrac)*jBr + hkInstr*0.15
+	a.UncondBranches = mix(ph.UncondBranchFrac)*jBr + hkInstr*0.03
+	a.TakenCond = a.CondBranches * ph.TakenFrac
+	a.MispCond = a.CondBranches * ph.MispFrac * jBr
+
+	perKI := func(pki float64) float64 { return wInstr * pki / 1000 }
+
+	l1d := perKI(ph.L1DMissPKI) * jMem
+	a.L1DMissStores = l1d * ph.StoreMissShare
+	a.L1DMissLoads = l1d - a.L1DMissStores
+	a.L1IMiss = perKI(ph.L1IMissPKI)*jMem + hkInstr*0.015
+	l2d := perKI(ph.L2DMissPKI) * jMem
+	a.L2DMissWrite = l2d * ph.StoreMissShare
+	a.L2DMissRead = l2d - a.L2DMissWrite
+	a.L2IMiss = perKI(ph.L2IMissPKI)*jMem + hkInstr*0.004
+	a.L3Miss = perKI(ph.L3MissPKI) * jMem
+	a.Prefetches = perKI(effPrefPKI) * jMem
+	a.PrefetchMiss = perKI(effPrefMissPKI) * jMem
+	a.TLBDMiss = perKI(ph.TLBDMissPKI)*jMem + hkInstr*0.002
+	a.TLBIMiss = perKI(ph.TLBIMissPKI)*jMem + hkInstr*0.0012
+
+	// Coherence traffic grows with the number of sharing threads.
+	snoopPKI := ph.SnoopPKI * (1 + ph.SnoopThreadScale*float64(n-1))
+	a.Snoops = perKI(snoopPKI) * jMem
+
+	// Pipeline cycle accounting. stallFrac is the share of cycles the
+	// core could not issue due to back-end stalls.
+	stallFrac := (cpi - cpi0) / cpi
+	if stallFrac < 0 {
+		stallFrac = 0
+	}
+	// Front-end bubbles add a floor even in unstalled kernels.
+	issueStallFrac := math.Min(0.97, stallFrac+0.04*(1-stallFrac))
+	a.StallIssueCycles = cycles * issueStallFrac * jStall
+	a.FullIssueCycles = cycles * ph.FullIssueFrac * (1 - stallFrac) * jStall
+	// Completion is burstier than issue: a few percent more empty and
+	// full cycles at retirement.
+	a.StallCompleteCycles = math.Min(cycles*0.98, cycles*issueStallFrac*1.06*jStall)
+	a.FullCompleteCycles = cycles * ph.FullRetireFrac * (1 - stallFrac) * jStall
+	a.ResStallCycles = math.Min(cycles*0.99, cycles*stallFrac*1.12*jStall)
+	a.MemWriteCycles = cycles * ph.MemWriteCycFrac * math.Min(1.5, 1+util) * jMem
+
+	// FP operation totals. Vector instructions execute Width FLOPs.
+	wSP := ph.VecWidthSP
+	if wSP == 0 {
+		wSP = 8
+	}
+	wDP := ph.VecWidthDP
+	if wDP == 0 {
+		wDP = 4
+	}
+	a.VecSPIns = mix(ph.VecSPFrac)
+	a.VecDPIns = mix(ph.VecDPFrac)
+	a.SPOps = mix(ph.FPScalarSPFrac) + a.VecSPIns*wSP
+	a.DPOps = mix(ph.FPScalarDPFrac) + a.VecDPIns*wDP
+
+	// Hidden power-relevant activity.
+	a.MemBytes = wInstr * bwPerInstr * jMem
+	a.MemWriteBytes = wInstr * 64 * ph.L3MissPKI * ph.StoreMissShare / 1000 * jMem
+	a.MemBWUtil = util
+	vecPerCyc := (a.VecSPIns + a.VecDPIns) / math.Max(cycles, 1)
+	a.AVXActiveCycles = cycles * math.Min(1, vecPerCyc*2.5)
+	a.RingTraffic = a.L2DMiss() + a.L2IMiss + a.Prefetches + a.Snoops + a.L3Miss
+
+	return a, nil
+}
+
+// ExecutePhases runs every phase of a workload (weights → durations
+// summing to totalDuration) and returns one Activity per phase.
+func (e *Executor) ExecutePhases(w *workloads.Workload, freqMHz, threads int, totalDuration float64, rnd *rng.Rand) ([]*Activity, error) {
+	var wsum float64
+	for _, ph := range w.Phases {
+		wsum += ph.Weight
+	}
+	if wsum <= 0 {
+		return nil, fmt.Errorf("cpusim: workload %s has zero total phase weight", w.Name)
+	}
+	out := make([]*Activity, 0, len(w.Phases))
+	for i, ph := range w.Phases {
+		cfg := RunConfig{
+			Workload:  w,
+			PhaseIdx:  i,
+			FreqMHz:   freqMHz,
+			Threads:   threads,
+			DurationS: totalDuration * ph.Weight / wsum,
+		}
+		a, err := e.Execute(cfg, rnd.Split(rng.HashString(w.Name+"/"+ph.Name)))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,158 @@
+// Package cpusim simulates the paper's experimental platform — a dual
+// socket Intel Xeon E5-2690v3 (Haswell-EP) node — at the statistical
+// level the power-modeling workflow observes it: given a workload
+// phase, an operating frequency, a thread count and a duration, the
+// simulator produces aggregate performance-counter activity, core
+// voltages, and the hidden activity factors that drive the ground-truth
+// power model in internal/power.
+//
+// This replaces the real hardware of the paper. The modeling workflow
+// only ever consumes per-phase aggregates (PMC values, average power,
+// average voltage), so a statistical simulator that produces those
+// aggregates with realistic cross-correlations, frequency scaling and
+// contention behaviour exercises the same code paths as the original
+// instrumentation.
+package cpusim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PState is one DVFS operating point: a core frequency and the
+// corresponding core supply voltage.
+type PState struct {
+	FreqMHz  int
+	VoltageV float64
+}
+
+// Platform describes the simulated machine.
+type Platform struct {
+	Name           string
+	Sockets        int
+	CoresPerSocket int
+	// NominalMHz is the reference clock base frequency (TSC rate);
+	// PAPI_REF_CYC advances at this rate while a core is unhalted.
+	NominalMHz int
+	// PStates are the available DVFS operating points, ascending by
+	// frequency.
+	PStates []PState
+
+	// Memory subsystem characteristics.
+	MemLatencyNs     float64 // idle DRAM access latency
+	L2LatencyCycles  float64
+	L3LatencyCycles  float64
+	PeakBWGBs        float64 // peak DRAM bandwidth per socket, GB/s
+	MispredictCycles float64 // branch misprediction flush penalty
+
+	// UncoreFreqGHz and UncoreVoltage describe the (fixed) uncore
+	// domain: L3 slices, ring interconnect, home agents.
+	UncoreFreqGHz  float64
+	UncoreVoltageV float64
+}
+
+// HaswellEP returns the simulated dual-socket Xeon E5-2690v3 node used
+// throughout the experiments: 2×12 cores, five DVFS states between
+// 1200 and 2600 MHz (the paper trains at "5 distinct operating
+// frequencies between 1200 and 2600 MHz"), Hyper-Threading and Turbo
+// Boost disabled.
+func HaswellEP() *Platform {
+	return &Platform{
+		Name:           "Intel Xeon E5-2690v3 (simulated)",
+		Sockets:        2,
+		CoresPerSocket: 12,
+		NominalMHz:     2600,
+		PStates: []PState{
+			{FreqMHz: 1200, VoltageV: 0.74},
+			{FreqMHz: 1600, VoltageV: 0.80},
+			{FreqMHz: 2000, VoltageV: 0.88},
+			{FreqMHz: 2400, VoltageV: 0.99},
+			{FreqMHz: 2600, VoltageV: 1.06},
+		},
+		MemLatencyNs:     85,
+		L2LatencyCycles:  12,
+		L3LatencyCycles:  40,
+		PeakBWGBs:        56,
+		MispredictCycles: 16,
+		UncoreFreqGHz:    2.8,
+		UncoreVoltageV:   0.95,
+	}
+}
+
+// EmbeddedARM returns a simulated embedded ARM-class platform in the
+// spirit of the big cluster Walker et al. model (a quad-core
+// out-of-order part on a development board): one socket, four cores,
+// DVFS 600–1800 MHz, a single shared last-level cache and a narrow
+// memory system. Its purpose is the paper's cross-architecture
+// comparison — the same modeling workflow on a *simpler* machine
+// should be more accurate ("the high intricacy of the x86 CISC
+// architecture ... contributes to a reduced accuracy ... compared with
+// the original implementation on ARM").
+func EmbeddedARM() *Platform {
+	return &Platform{
+		Name:           "embedded ARM big cluster (simulated)",
+		Sockets:        1,
+		CoresPerSocket: 4,
+		NominalMHz:     1800,
+		PStates: []PState{
+			{FreqMHz: 600, VoltageV: 0.90},
+			{FreqMHz: 1000, VoltageV: 0.98},
+			{FreqMHz: 1400, VoltageV: 1.06},
+			{FreqMHz: 1800, VoltageV: 1.18},
+		},
+		MemLatencyNs:     130,
+		L2LatencyCycles:  12,
+		L3LatencyCycles:  21, // the shared L2 acts as the last level
+		PeakBWGBs:        12,
+		MispredictCycles: 14,
+		UncoreFreqGHz:    0.8,
+		UncoreVoltageV:   0.95,
+	}
+}
+
+// TotalCores returns the number of cores in the node.
+func (p *Platform) TotalCores() int { return p.Sockets * p.CoresPerSocket }
+
+// Frequencies lists the available frequencies in MHz, ascending.
+func (p *Platform) Frequencies() []int {
+	out := make([]int, len(p.PStates))
+	for i, s := range p.PStates {
+		out[i] = s.FreqMHz
+	}
+	sort.Ints(out)
+	return out
+}
+
+// PStateFor returns the P-state for an exact frequency.
+func (p *Platform) PStateFor(freqMHz int) (PState, error) {
+	for _, s := range p.PStates {
+		if s.FreqMHz == freqMHz {
+			return s, nil
+		}
+	}
+	return PState{}, fmt.Errorf("cpusim: platform has no P-state at %d MHz (available: %v)", freqMHz, p.Frequencies())
+}
+
+// Validate checks the platform definition for consistency.
+func (p *Platform) Validate() error {
+	if p.Sockets < 1 || p.CoresPerSocket < 1 {
+		return fmt.Errorf("cpusim: invalid topology %d sockets × %d cores", p.Sockets, p.CoresPerSocket)
+	}
+	if len(p.PStates) == 0 {
+		return fmt.Errorf("cpusim: platform has no P-states")
+	}
+	prev := 0
+	for _, s := range p.PStates {
+		if s.FreqMHz <= prev {
+			return fmt.Errorf("cpusim: P-states not strictly ascending at %d MHz", s.FreqMHz)
+		}
+		if s.VoltageV <= 0.4 || s.VoltageV > 1.5 {
+			return fmt.Errorf("cpusim: implausible voltage %.2f V at %d MHz", s.VoltageV, s.FreqMHz)
+		}
+		prev = s.FreqMHz
+	}
+	if p.MemLatencyNs <= 0 || p.PeakBWGBs <= 0 {
+		return fmt.Errorf("cpusim: invalid memory parameters")
+	}
+	return nil
+}

@@ -1,0 +1,157 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestE14StrategyComparison(t *testing.T) {
+	rows, err := testCtx(t).StrategyComparison()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d strategies", len(rows))
+	}
+	byName := map[string]StrategyRow{}
+	for _, r := range rows {
+		byName[r.Strategy] = r
+		if len(r.Counters) != 6 {
+			t.Fatalf("strategy %s selected %d counters", r.Strategy, len(r.Counters))
+		}
+		if r.CVMAPE <= 0 || r.CVMAPE > 50 {
+			t.Fatalf("strategy %s CV MAPE %.2f%% implausible", r.Strategy, r.CVMAPE)
+		}
+	}
+	alg1 := byName["greedy R² (Algorithm 1)"]
+	pcc := byName["top-|PCC| ranking"]
+	// The paper's central methodological claim, quantified: the
+	// statistically selected set beats naive PCC ranking on both
+	// accuracy and multicollinearity.
+	if alg1.CVMAPE >= pcc.CVMAPE {
+		t.Fatalf("Algorithm 1 (%.2f%%) must beat PCC ranking (%.2f%%)", alg1.CVMAPE, pcc.CVMAPE)
+	}
+	if alg1.MeanVIF >= pcc.MeanVIF {
+		t.Fatalf("Algorithm 1 VIF (%.1f) must be far below PCC ranking (%.1f)", alg1.MeanVIF, pcc.MeanVIF)
+	}
+	// And it has the best (or equal-best) transfer stability of all
+	// strategies.
+	for _, r := range rows {
+		if alg1.TransferMAPE > r.TransferMAPE+0.5 {
+			t.Fatalf("Algorithm 1 transfer (%.2f%%) beaten by %s (%.2f%%)", alg1.TransferMAPE, r.Strategy, r.TransferMAPE)
+		}
+	}
+}
+
+func TestE15TransformationSearch(t *testing.T) {
+	rep, err := testCtx(t).TransformationSearch()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Candidates) == 0 {
+		t.Fatal("no candidates")
+	}
+	// The flag must reflect the candidates.
+	any := false
+	for _, cand := range rep.Candidates {
+		if cand.Applicable {
+			any = true
+		}
+	}
+	if any != rep.AnyApplicable {
+		t.Fatal("AnyApplicable inconsistent")
+	}
+}
+
+func TestHeteroscedasticityFormalTest(t *testing.T) {
+	bp, err := testCtx(t).HeteroscedasticityTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The simulated residuals are heteroscedastic by construction; the
+	// test must detect it decisively — this is the formal basis for
+	// the paper's HC3 choice.
+	if bp.PValue > 1e-6 {
+		t.Fatalf("Breusch–Pagan p = %v, expected decisive rejection", bp.PValue)
+	}
+	if bp.DF != 8 { // 6 events + V²f + V
+		t.Fatalf("df = %d, want 8", bp.DF)
+	}
+}
+
+func TestFutureworkRenderers(t *testing.T) {
+	c := testCtx(t)
+	for name, fn := range map[string]func() (string, error){
+		"strategies": c.RenderStrategies,
+		"transform":  c.RenderTransformations,
+		"hetero":     c.RenderHeteroscedasticity,
+	} {
+		out, err := fn()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(strings.TrimSpace(out)) == 0 || strings.Contains(out, "%!") {
+			t.Fatalf("%s render broken:\n%s", name, out)
+		}
+	}
+}
+
+func TestE16BootstrapStability(t *testing.T) {
+	rep, err := testCtx(t).BootstrapStability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Full.Replicates < 100 || rep.Synthetic.Replicates < 100 {
+		t.Fatal("too few surviving replicates")
+	}
+	// The dominant activity coefficients must be sign-stable on the
+	// full dataset.
+	stable := map[string]bool{}
+	for _, c := range rep.Full.Coefficients {
+		stable[c.Name] = c.SignStable
+	}
+	if !stable["LST_INS"] || !stable["L3_TCM"] {
+		t.Fatal("dominant activity coefficients must be bootstrap-stable")
+	}
+	// Some instability must exist — otherwise the analysis is vacuous
+	// (the DVFS terms are mutually confounded at five operating
+	// points).
+	if len(rep.Full.UnstableCoefficients()) == 0 {
+		t.Fatal("expected some sign-unstable coefficients")
+	}
+	out, err := testCtx(t).RenderStability()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}
+
+func TestE17CrossPlatform(t *testing.T) {
+	rep, err := testCtx(t).CrossPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The paper's closing observation: the same workflow is more
+	// accurate on the simpler embedded platform.
+	if rep.ARMMAPE >= rep.X86MAPE {
+		t.Fatalf("embedded ARM MAPE (%.2f%%) must beat x86 (%.2f%%)", rep.ARMMAPE, rep.X86MAPE)
+	}
+	if rep.ARMR2 <= rep.X86R2 {
+		t.Fatalf("embedded ARM R² (%.4f) must beat x86 (%.4f)", rep.ARMR2, rep.X86R2)
+	}
+	if len(rep.ARMSel) != 6 || len(rep.X86Sel) != 6 {
+		t.Fatal("both platforms must select six counters")
+	}
+	if rep.ARMMAPE < 1 || rep.ARMMAPE > 10 {
+		t.Fatalf("embedded MAPE %.2f%% implausible", rep.ARMMAPE)
+	}
+	out, err := testCtx(t).RenderCrossPlatform()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) == 0 {
+		t.Fatal("empty render")
+	}
+}

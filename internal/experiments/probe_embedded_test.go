@@ -1,0 +1,62 @@
+package experiments
+
+import (
+	"fmt"
+	"testing"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/cpusim"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/power"
+	"pmcpower/internal/workloads"
+)
+
+// TestProbeARM prints the embedded platform's per-workload error
+// profile when run with -v; a calibration aid.
+func TestProbeARM(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("probe output only with -v")
+	}
+	platform := cpusim.EmbeddedARM()
+	model := power.EmbeddedModel()
+	freqs := platform.Frequencies()
+
+	selDS, err := acquisition.Acquire(acquisition.Options{Platform: platform, Model: model, Seed: 42},
+		workloads.Active(), []int{1400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	steps, err := core.SelectEvents(selDS.Rows, core.SelectOptions{Count: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := core.Events(steps)
+	acq := append(append([]pmu.EventID(nil), events...), pmu.MustByName("TOT_CYC").ID)
+	full, err := acquisition.Acquire(acquisition.Options{Platform: platform, Model: model, Seed: 42, Events: acq},
+		workloads.Active(), freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cv, err := core.CrossValidate(full.Rows, events, 10, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Printf("ARM CV MAPE %.2f%%, R² %.4f, counters %v\n",
+		cv.MAPESummary().Mean, cv.R2Summary().Mean, pmu.ShortNames(events))
+	per := cv.PerWorkloadMAPE()
+	for _, w := range full.Workloads() {
+		fmt.Printf("  %-16s %6.2f%%\n", w, per[w])
+	}
+	// Power range for context.
+	lo, hi := 1e9, 0.0
+	for _, r := range full.Rows {
+		if r.PowerW < lo {
+			lo = r.PowerW
+		}
+		if r.PowerW > hi {
+			hi = r.PowerW
+		}
+	}
+	fmt.Printf("power range %.2f – %.2f W\n", lo, hi)
+}

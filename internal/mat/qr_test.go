@@ -1,0 +1,200 @@
+package mat
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"pmcpower/internal/rng"
+)
+
+func TestQRSolveExact(t *testing.T) {
+	// Square, well-conditioned system with a known solution.
+	a := FromRows([][]float64{
+		{2, 1, 0},
+		{1, 3, 1},
+		{0, 1, 4},
+	})
+	want := []float64{1, -2, 3}
+	b := a.MulVec(want)
+	got, err := SolveLeastSquares(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-10 {
+			t.Fatalf("solution %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQRLeastSquaresResidualOrthogonality(t *testing.T) {
+	// For the LS solution, residuals must be orthogonal to the column
+	// space: Xᵀ(y − Xβ) = 0.
+	r := rng.New(17)
+	n, k := 40, 4
+	x := New(n, k)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		for j := 0; j < k; j++ {
+			x.Set(i, j, r.Norm())
+		}
+		y[i] = r.NormScaled(0, 2)
+	}
+	beta, err := SolveLeastSquares(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fitted := x.MulVec(beta)
+	resid := make([]float64, n)
+	for i := range y {
+		resid[i] = y[i] - fitted[i]
+	}
+	xt := x.T()
+	g := xt.MulVec(resid)
+	for j, v := range g {
+		if math.Abs(v) > 1e-8 {
+			t.Fatalf("gradient component %d = %v, want ~0", j, v)
+		}
+	}
+}
+
+func TestQRSingularDetection(t *testing.T) {
+	// Third column = first + second → rank deficient.
+	a := FromRows([][]float64{
+		{1, 2, 3},
+		{4, 5, 9},
+		{7, 8, 15},
+		{1, 0, 1},
+	})
+	_, err := SolveLeastSquares(a, []float64{1, 2, 3, 4})
+	if !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestQRFullRankCheck(t *testing.T) {
+	good := DecomposeQR(FromRows([][]float64{{1, 0}, {0, 1}, {1, 1}}))
+	if !good.IsFullRank(1e-12) {
+		t.Fatal("well-conditioned matrix reported rank-deficient")
+	}
+	bad := DecomposeQR(FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}}))
+	if bad.IsFullRank(1e-12) {
+		t.Fatal("rank-1 matrix reported full rank")
+	}
+}
+
+func TestQRRCond(t *testing.T) {
+	id := DecomposeQR(Identity(4))
+	if rc := id.RCond(); math.Abs(rc-1) > 1e-12 {
+		t.Fatalf("RCond of identity = %v, want 1", rc)
+	}
+	ill := DecomposeQR(FromRows([][]float64{{1, 0}, {0, 1e-14}, {0, 0}}))
+	if rc := ill.RCond(); rc > 1e-10 {
+		t.Fatalf("RCond of near-singular matrix = %v, want tiny", rc)
+	}
+}
+
+func TestRInverse(t *testing.T) {
+	// Verify (XᵀX)⁻¹ = R⁻¹R⁻ᵀ against a direct inverse.
+	x := FromRows([][]float64{
+		{1, 2, 1},
+		{1, -1, 0},
+		{1, 0.5, 3},
+		{1, 4, -2},
+		{1, 1, 1},
+	})
+	qr := DecomposeQR(x)
+	rinv, err := qr.RInverse()
+	if err != nil {
+		t.Fatal(err)
+	}
+	viaQR := Mul(rinv, rinv.T())
+	xtx := Mul(x.T(), x)
+	direct, err := Inverse(xtx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(viaQR, direct, 1e-8) {
+		t.Fatalf("R⁻¹R⁻ᵀ != (XᵀX)⁻¹:\n%v\nvs\n%v", viaQR, direct)
+	}
+}
+
+func TestInverse(t *testing.T) {
+	a := FromRows([][]float64{
+		{4, 7, 2},
+		{3, 6, 1},
+		{2, 5, 3},
+	})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !Equal(Mul(a, inv), Identity(3), 1e-10) {
+		t.Fatalf("A * A⁻¹ != I:\n%v", Mul(a, inv))
+	}
+	if !Equal(Mul(inv, a), Identity(3), 1e-10) {
+		t.Fatal("A⁻¹ * A != I")
+	}
+}
+
+func TestInverseSingular(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); !errors.Is(err, ErrSingular) {
+		t.Fatalf("want ErrSingular, got %v", err)
+	}
+}
+
+func TestQRUnderdeterminedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("rows < cols must panic")
+		}
+	}()
+	DecomposeQR(New(2, 3))
+}
+
+func TestQRRecoversKnownCoefficientsProperty(t *testing.T) {
+	// Property: for any seed, noiseless y = Xβ recovers β
+	// to high precision whenever X is well-conditioned.
+	f := func(seed uint64) bool {
+		r := rng.New(seed)
+		n, k := 25, 5
+		x := New(n, k)
+		for i := 0; i < n; i++ {
+			for j := 0; j < k; j++ {
+				x.Set(i, j, r.Norm())
+			}
+		}
+		qr := DecomposeQR(x)
+		if qr.RCond() < 1e-6 {
+			return true // skip pathologically conditioned draws
+		}
+		beta := make([]float64, k)
+		for j := range beta {
+			beta[j] = r.NormScaled(0, 10)
+		}
+		y := x.MulVec(beta)
+		got, err := qr.Solve(y)
+		if err != nil {
+			return false
+		}
+		for j := range beta {
+			if math.Abs(got[j]-beta[j]) > 1e-7*(1+math.Abs(beta[j])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSolveLengthMismatch(t *testing.T) {
+	qr := DecomposeQR(Identity(3))
+	if _, err := qr.Solve([]float64{1, 2}); err == nil {
+		t.Fatal("length mismatch must error")
+	}
+}

@@ -1,0 +1,190 @@
+package metricplugin
+
+import (
+	"fmt"
+	"math"
+
+	"pmcpower/internal/cpusim"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/power"
+	"pmcpower/internal/trace"
+)
+
+// PowerPlugin samples the power instrumentation, standing in for the
+// paper's scorep_ni plugin backed by "calibrated high resolution power
+// sensors at the 12 V inputs to each socket": one independently
+// calibrated sensor — and one trace metric channel — per socket. The
+// node power the workflow regresses against is the channels' sum,
+// recovered during post-processing.
+type PowerPlugin struct {
+	model   *power.Model
+	sensors []*power.Sensor
+	rateHz  float64
+}
+
+// NewPowerPlugin builds the plugin with one sensor per socket. rateHz
+// is the rate at which samples are written to the trace (each sensor
+// integrates at its own, higher rate).
+func NewPowerPlugin(model *power.Model, sensors []*power.Sensor, rateHz float64) *PowerPlugin {
+	if rateHz <= 0 {
+		panic(fmt.Sprintf("metricplugin: invalid power sampling rate %v", rateHz))
+	}
+	if len(sensors) == 0 {
+		panic("metricplugin: power plugin needs at least one sensor")
+	}
+	return &PowerPlugin{model: model, sensors: sensors, rateHz: rateHz}
+}
+
+// Name implements Plugin.
+func (p *PowerPlugin) Name() string { return "scorep_ni" }
+
+// Metrics implements Plugin: one power channel per socket sensor.
+func (p *PowerPlugin) Metrics() []MetricSpec {
+	out := make([]MetricSpec, len(p.sensors))
+	for s := range p.sensors {
+		out[s] = MetricSpec{Name: fmt.Sprintf("socket%d_power", s), Unit: "W", Mode: trace.MetricAsync}
+	}
+	return out
+}
+
+// Sample implements Plugin.
+func (p *PowerPlugin) Sample(iv *Interval) ([]SampleValue, error) {
+	if err := validateInterval(iv); err != nil {
+		return nil, err
+	}
+	if len(p.sensors) != iv.Platform.Sockets {
+		return nil, fmt.Errorf("metricplugin: %d power sensors for %d sockets", len(p.sensors), iv.Platform.Sockets)
+	}
+	perSocket := p.model.SocketPowers(iv.Platform, iv.Activity)
+	ts := ticks(iv.StartNs, iv.EndNs, p.rateHz)
+	out := make([]SampleValue, 0, len(ts)*len(p.sensors))
+	period := 1 / p.rateHz
+	for _, t := range ts {
+		for si, sensor := range p.sensors {
+			out = append(out, SampleValue{
+				MetricIndex: si,
+				TimeNs:      t,
+				Value:       sensor.PhaseAverage(perSocket[si], period, iv.Rand),
+				Core:        NodeLevel,
+			})
+		}
+	}
+	return out, nil
+}
+
+// VoltagePlugin reads the core supply voltage, standing in for the
+// paper's scorep_x86_adapt plugin ("it is possible to read actual core
+// voltages during runtime on contemporary Intel processors").
+type VoltagePlugin struct {
+	rateHz float64
+}
+
+// NewVoltagePlugin builds the plugin.
+func NewVoltagePlugin(rateHz float64) *VoltagePlugin {
+	if rateHz <= 0 {
+		panic(fmt.Sprintf("metricplugin: invalid voltage sampling rate %v", rateHz))
+	}
+	return &VoltagePlugin{rateHz: rateHz}
+}
+
+// Name implements Plugin.
+func (p *VoltagePlugin) Name() string { return "scorep_x86_adapt" }
+
+// Metrics implements Plugin.
+func (p *VoltagePlugin) Metrics() []MetricSpec {
+	return []MetricSpec{{Name: "core_voltage", Unit: "V", Mode: trace.MetricAsync}}
+}
+
+// Sample implements Plugin. The plugin reads the voltage of every
+// active core separately ("scorep_x86_adapt supports per core
+// metrics"): each core's regulator sits at a slightly different point
+// of the load line.
+func (p *VoltagePlugin) Sample(iv *Interval) ([]SampleValue, error) {
+	if err := validateInterval(iv); err != nil {
+		return nil, err
+	}
+	cores := iv.ActiveCores()
+	// Stable per-core offsets (process variation), ±0.4 %.
+	offsets := make([]float64, len(cores))
+	for i, c := range cores {
+		offsets[i] = 1 + 0.004*math.Sin(float64(c)*2.39996)
+	}
+	ts := ticks(iv.StartNs, iv.EndNs, p.rateHz)
+	out := make([]SampleValue, 0, len(ts)*len(cores))
+	for _, t := range ts {
+		for i, c := range cores {
+			// Register read-out granularity is ~1/8192 V on real parts.
+			v := iv.Activity.CoreVoltageV * offsets[i] * iv.Rand.Jitter(0.0008)
+			out = append(out, SampleValue{MetricIndex: 0, TimeNs: t, Value: v, Core: c})
+		}
+	}
+	return out, nil
+}
+
+// ApapiPlugin asynchronously samples a PAPI event set, standing in for
+// scorep_plugin_apapi. Each metric sample carries the observed event
+// *rate* (events per second) over the preceding sampling period; the
+// phase-profile post-processing averages these rates over each phase.
+type ApapiPlugin struct {
+	set    *pmu.EventSet
+	rateHz float64
+}
+
+// NewApapiPlugin builds the plugin for one schedulable event set.
+func NewApapiPlugin(set *pmu.EventSet, rateHz float64) (*ApapiPlugin, error) {
+	if rateHz <= 0 {
+		return nil, fmt.Errorf("metricplugin: invalid apapi sampling rate %v", rateHz)
+	}
+	if !set.Schedulable() {
+		return nil, fmt.Errorf("metricplugin: event set %v not schedulable in one run", set)
+	}
+	return &ApapiPlugin{set: set, rateHz: rateHz}, nil
+}
+
+// Name implements Plugin.
+func (p *ApapiPlugin) Name() string { return "scorep_plugin_apapi" }
+
+// EventSet returns the set this plugin instance measures.
+func (p *ApapiPlugin) EventSet() *pmu.EventSet { return p.set }
+
+// Metrics implements Plugin. Metric names are the PAPI event names.
+func (p *ApapiPlugin) Metrics() []MetricSpec {
+	ids := p.set.Events()
+	out := make([]MetricSpec, len(ids))
+	for i, id := range ids {
+		out[i] = MetricSpec{Name: pmu.Lookup(id).Name, Unit: "events/s", Mode: trace.MetricAsync}
+	}
+	return out
+}
+
+// Sample implements Plugin. Hardware counters are per-core resources,
+// so the sampler reads every active core separately; the node total is
+// recovered in post-processing by summing across locations. A mild
+// deterministic load imbalance distributes the node aggregate over the
+// cores.
+func (p *ApapiPlugin) Sample(iv *Interval) ([]SampleValue, error) {
+	if err := validateInterval(iv); err != nil {
+		return nil, err
+	}
+	counts := cpusim.Counters(iv.Activity, p.set)
+	dur := iv.DurationS()
+	ids := p.set.Events()
+	cores := iv.ActiveCores()
+	shares := coreShares(iv)
+	ts := ticks(iv.StartNs, iv.EndNs, p.rateHz)
+	out := make([]SampleValue, 0, len(ts)*len(ids)*len(cores))
+	for _, t := range ts {
+		for i, id := range ids {
+			nodeRate := counts[id] / dur
+			// Common-mode read-out error (sampling-window alignment
+			// hits every core's read of this event alike) plus an
+			// independent per-core component.
+			common := iv.Rand.Jitter(0.012)
+			for ci, c := range cores {
+				rate := nodeRate * shares[ci] * common * iv.Rand.Jitter(0.012)
+				out = append(out, SampleValue{MetricIndex: i, TimeNs: t, Value: rate, Core: c})
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,62 @@
+package phaseprofile
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+
+	"pmcpower/internal/pmu"
+)
+
+// WriteCSV exports phase profiles as CSV, mirroring the tabular phase
+// profiles the paper's post-processing tools emit: identification,
+// timing, averaged async metrics, and one column per recorded PMC
+// (rates in events/second).
+func WriteCSV(w io.Writer, phases []*Phase) error {
+	present := map[pmu.EventID]bool{}
+	for _, ph := range phases {
+		for id := range ph.Rates {
+			present[id] = true
+		}
+	}
+	var events []pmu.EventID
+	for id := range present {
+		events = append(events, id)
+	}
+	sort.Slice(events, func(i, j int) bool { return events[i] < events[j] })
+
+	cw := csv.NewWriter(w)
+	header := []string{"app", "region", "threads", "freq_mhz", "start_ns", "end_ns", "power_w", "voltage_v"}
+	for _, id := range events {
+		header = append(header, pmu.Lookup(id).Name)
+	}
+	if err := cw.Write(header); err != nil {
+		return fmt.Errorf("phaseprofile: writing CSV header: %w", err)
+	}
+	for _, ph := range phases {
+		rec := []string{
+			ph.App,
+			ph.Region,
+			strconv.Itoa(ph.Threads),
+			strconv.Itoa(ph.FreqMHz),
+			strconv.FormatUint(ph.StartNs, 10),
+			strconv.FormatUint(ph.EndNs, 10),
+			strconv.FormatFloat(ph.PowerW, 'g', -1, 64),
+			strconv.FormatFloat(ph.VoltageV, 'g', -1, 64),
+		}
+		for _, id := range events {
+			if v, ok := ph.Rates[id]; ok {
+				rec = append(rec, strconv.FormatFloat(v, 'g', -1, 64))
+			} else {
+				rec = append(rec, "")
+			}
+		}
+		if err := cw.Write(rec); err != nil {
+			return fmt.Errorf("phaseprofile: writing CSV row: %w", err)
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}

@@ -1,0 +1,61 @@
+package phaseprofile
+
+import (
+	"bytes"
+	"encoding/csv"
+	"testing"
+
+	"pmcpower/internal/pmu"
+)
+
+func TestWriteCSVPhases(t *testing.T) {
+	phases, err := FromTrace(buildTrace(t), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, phases); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != len(phases)+1 {
+		t.Fatalf("%d records for %d phases", len(records), len(phases))
+	}
+	header := records[0]
+	if header[0] != "app" || header[6] != "power_w" {
+		t.Fatalf("header = %v", header)
+	}
+	// The PMC column from the fixture trace must appear.
+	found := false
+	for _, col := range header[8:] {
+		if col == "PAPI_TOT_CYC" {
+			found = true
+		}
+		if _, err := pmu.ByName(col); err != nil {
+			t.Fatalf("unknown counter column %q", col)
+		}
+	}
+	if !found {
+		t.Fatal("PAPI_TOT_CYC column missing")
+	}
+	if records[1][1] != "phaseA@4" || records[2][1] != "phaseB@8" {
+		t.Fatalf("region cells wrong: %v / %v", records[1][1], records[2][1])
+	}
+}
+
+func TestWriteCSVEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteCSV(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	records, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(records) != 1 {
+		t.Fatalf("empty profile list must still emit a header, got %d records", len(records))
+	}
+}

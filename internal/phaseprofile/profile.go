@@ -1,0 +1,337 @@
+// Package phaseprofile implements the post-processing stage of the
+// paper's workflow: turning application traces into phase profiles.
+//
+// "The resulting phase profile contains the start and end time, the
+// average over time for each async metric, the average value of the
+// recorded PMC values, the number of active threads, and the
+// identification of the application."
+//
+// It stands in for the HAEC-SIM phase-profile module (used for roco2
+// traces) and the custom python OTF2 post-processing tool (used for
+// SPEC traces). Both consume the same archive format here.
+//
+// Because the hardware cannot record all PMC events simultaneously,
+// each workload is traced several times with different event sets;
+// CombineRuns merges the per-run profiles into complete rows, exactly
+// as the paper merges phase profiles from multiple runs.
+package phaseprofile
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/trace"
+)
+
+// Phase is one post-processed profile row.
+type Phase struct {
+	// App identifies the application (workload name).
+	App string
+	// Region is the phase (trace region) name.
+	Region string
+	// Threads is the number of active threads during the phase.
+	Threads int
+	// FreqMHz is the core frequency during the run.
+	FreqMHz int
+	StartNs uint64
+	EndNs   uint64
+
+	// PowerW and VoltageV are time averages of the async power and
+	// voltage metrics over the phase.
+	PowerW   float64
+	VoltageV float64
+
+	// Rates holds average PMC event rates (events per second) for the
+	// events recorded in this run.
+	Rates map[pmu.EventID]float64
+}
+
+// DurationS returns the phase duration in seconds.
+func (p *Phase) DurationS() float64 { return float64(p.EndNs-p.StartNs) / 1e9 }
+
+// Key identifies a phase across runs of the same experiment.
+func (p *Phase) Key() string {
+	return fmt.Sprintf("%s|%s|%d|%d", p.App, p.Region, p.Threads, p.FreqMHz)
+}
+
+// Well-known auxiliary metric names written by the acquisition
+// recorder alongside plugin metrics. Power arrives as one channel per
+// socket ("socket0_power", …); the legacy single-channel name
+// "node_power" is also recognized. All power channels of a phase are
+// summed into Phase.PowerW.
+const (
+	MetricPower   = "node_power"
+	MetricVoltage = "core_voltage"
+	MetricThreads = "active_threads"
+	MetricFreq    = "core_frequency"
+)
+
+// IsPowerMetric reports whether a metric definition name is a power
+// channel.
+func IsPowerMetric(name string) bool {
+	if name == MetricPower {
+		return true
+	}
+	return strings.HasPrefix(name, "socket") && strings.HasSuffix(name, "_power")
+}
+
+// FromTrace extracts phase profiles from an archive. The recorder
+// writes Enter/Leave around every phase on the master location and
+// annotates each phase with active_threads and core_frequency sync
+// metrics; power, voltage and PAPI rates arrive as async samples.
+func FromTrace(r io.Reader, app string) ([]*Phase, error) {
+	tr, err := trace.NewReader(r)
+	if err != nil {
+		return nil, err
+	}
+	defs := tr.Definitions()
+
+	// Metric classification by definition name.
+	type metricClass int
+	const (
+		mcPower metricClass = iota
+		mcVoltage
+		mcThreads
+		mcFreq
+		mcPMC
+		mcOther
+	)
+	classOf := make([]metricClass, len(defs.Metrics))
+	pmcOf := make([]pmu.EventID, len(defs.Metrics))
+	for i, m := range defs.Metrics {
+		switch {
+		case IsPowerMetric(m.Name):
+			classOf[i] = mcPower
+			continue
+		}
+		switch m.Name {
+		case MetricVoltage:
+			classOf[i] = mcVoltage
+		case MetricThreads:
+			classOf[i] = mcThreads
+		case MetricFreq:
+			classOf[i] = mcFreq
+		default:
+			if ev, err := pmu.ByName(m.Name); err == nil {
+				classOf[i] = mcPMC
+				pmcOf[i] = ev.ID
+			} else {
+				classOf[i] = mcOther
+			}
+		}
+	}
+
+	type agg struct {
+		sum     float64
+		weightS float64
+	}
+	// Per-core instruments (voltage, PMCs) are aggregated per trace
+	// location first: a core's samples average to that core's mean,
+	// then cores combine — voltages by averaging (the node-level
+	// reading), counter rates by summing (per-core counters add up to
+	// the node total).
+	var (
+		phases  []*Phase
+		current *Phase
+		powerA  map[trace.Ref]*agg // one aggregate per power channel
+		voltA   map[trace.Ref]*agg
+		pmcA    map[pmu.EventID]map[trace.Ref]*agg
+	)
+	flush := func(endNs uint64) error {
+		if current == nil {
+			return nil
+		}
+		current.EndNs = endNs
+		if current.EndNs <= current.StartNs {
+			return fmt.Errorf("phaseprofile: empty phase %q", current.Region)
+		}
+		// Node power = sum of the per-socket channel means.
+		var pw float64
+		for _, ref := range sortedRefs(powerA) {
+			if a := powerA[ref]; a.weightS > 0 {
+				pw += a.sum / a.weightS
+			}
+		}
+		current.PowerW = pw
+		if len(voltA) > 0 {
+			var vsum, vn float64
+			for _, loc := range sortedRefs(voltA) {
+				if a := voltA[loc]; a.weightS > 0 {
+					vsum += a.sum / a.weightS
+					vn++
+				}
+			}
+			if vn > 0 {
+				current.VoltageV = vsum / vn
+			}
+		}
+		current.Rates = make(map[pmu.EventID]float64, len(pmcA))
+		for id, byLoc := range pmcA {
+			var total float64
+			var any bool
+			// Sum in sorted location order: float addition is not
+			// associative, and reproducibility is non-negotiable.
+			for _, loc := range sortedRefs(byLoc) {
+				if a := byLoc[loc]; a.weightS > 0 {
+					total += a.sum / a.weightS
+					any = true
+				}
+			}
+			if any {
+				current.Rates[id] = total
+			}
+		}
+		phases = append(phases, current)
+		current = nil
+		return nil
+	}
+
+	for {
+		ev, err := tr.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch ev.Kind {
+		case trace.KindEnter:
+			if current != nil {
+				return nil, fmt.Errorf("phaseprofile: nested Enter at %d ns (phases must not nest)", ev.TimeNs)
+			}
+			current = &Phase{
+				App:     app,
+				Region:  defs.Regions[ev.Region].Name,
+				StartNs: ev.TimeNs,
+			}
+			powerA = make(map[trace.Ref]*agg)
+			voltA = make(map[trace.Ref]*agg)
+			pmcA = make(map[pmu.EventID]map[trace.Ref]*agg)
+		case trace.KindLeave:
+			if current == nil {
+				return nil, fmt.Errorf("phaseprofile: Leave without Enter at %d ns", ev.TimeNs)
+			}
+			if err := flush(ev.TimeNs); err != nil {
+				return nil, err
+			}
+		case trace.KindMetric:
+			if current == nil {
+				continue // inter-phase samples are discarded
+			}
+			switch classOf[ev.Metric] {
+			case mcPower:
+				a := powerA[ev.Metric]
+				if a == nil {
+					a = &agg{}
+					powerA[ev.Metric] = a
+				}
+				a.sum += ev.Value
+				a.weightS++
+			case mcVoltage:
+				a := voltA[ev.Location]
+				if a == nil {
+					a = &agg{}
+					voltA[ev.Location] = a
+				}
+				a.sum += ev.Value
+				a.weightS++
+			case mcThreads:
+				current.Threads = int(ev.Value)
+			case mcFreq:
+				current.FreqMHz = int(ev.Value)
+			case mcPMC:
+				id := pmcOf[ev.Metric]
+				byLoc := pmcA[id]
+				if byLoc == nil {
+					byLoc = make(map[trace.Ref]*agg)
+					pmcA[id] = byLoc
+				}
+				a := byLoc[ev.Location]
+				if a == nil {
+					a = &agg{}
+					byLoc[ev.Location] = a
+				}
+				a.sum += ev.Value
+				a.weightS++
+			}
+		}
+	}
+	if current != nil {
+		return nil, fmt.Errorf("phaseprofile: trace ended inside phase %q", current.Region)
+	}
+	return phases, nil
+}
+
+// sortedRefs returns the keys of a per-location aggregation map in
+// ascending order, for deterministic float summation.
+func sortedRefs[V any](m map[trace.Ref]V) []trace.Ref {
+	out := make([]trace.Ref, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// CombineRuns merges phase profiles from multiple runs of the same
+// experiment matrix. Profiles with the same Key are averaged: power
+// and voltage become the mean across runs (each run measures them),
+// and PMC rates are unioned — each run contributes the events its
+// event set recorded. Conflicting PMC observations (the same event
+// measured in several runs, e.g. fixed counters) are averaged too.
+//
+// The result is sorted by key for determinism.
+func CombineRuns(runs ...[]*Phase) []*Phase {
+	type acc struct {
+		proto    *Phase
+		powerSum float64
+		voltSum  float64
+		n        float64
+		rateSum  map[pmu.EventID]float64
+		rateN    map[pmu.EventID]float64
+	}
+	byKey := make(map[string]*acc)
+	var order []string
+	for _, run := range runs {
+		for _, ph := range run {
+			k := ph.Key()
+			a := byKey[k]
+			if a == nil {
+				cp := *ph
+				cp.Rates = nil
+				a = &acc{
+					proto:   &cp,
+					rateSum: make(map[pmu.EventID]float64),
+					rateN:   make(map[pmu.EventID]float64),
+				}
+				byKey[k] = a
+				order = append(order, k)
+			}
+			a.powerSum += ph.PowerW
+			a.voltSum += ph.VoltageV
+			a.n++
+			for id, r := range ph.Rates {
+				a.rateSum[id] += r
+				a.rateN[id]++
+			}
+		}
+	}
+	sort.Strings(order)
+	out := make([]*Phase, 0, len(order))
+	for _, k := range order {
+		a := byKey[k]
+		m := a.proto
+		m.PowerW = a.powerSum / a.n
+		m.VoltageV = a.voltSum / a.n
+		m.Rates = make(map[pmu.EventID]float64, len(a.rateSum))
+		for id, s := range a.rateSum {
+			m.Rates[id] = s / a.rateN[id]
+		}
+		out = append(out, m)
+	}
+	return out
+}

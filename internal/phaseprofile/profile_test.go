@@ -1,0 +1,188 @@
+package phaseprofile
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/trace"
+)
+
+// buildTrace writes a two-phase archive with power/voltage/threads
+// metrics and one PMC metric.
+func buildTrace(t *testing.T) *bytes.Buffer {
+	t.Helper()
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	loc, _ := w.DefineLocation("master")
+	regA, _ := w.DefineRegion("phaseA@4")
+	regB, _ := w.DefineRegion("phaseB@8")
+	thr, _ := w.DefineMetric(MetricThreads, "threads", trace.MetricSync)
+	frq, _ := w.DefineMetric(MetricFreq, "MHz", trace.MetricSync)
+	pow, _ := w.DefineMetric(MetricPower, "W", trace.MetricAsync)
+	vlt, _ := w.DefineMetric(MetricVoltage, "V", trace.MetricAsync)
+	pmc, _ := w.DefineMetric("PAPI_TOT_CYC", "events/s", trace.MetricAsync)
+	other, _ := w.DefineMetric("unrelated_metric", "?", trace.MetricAsync)
+
+	ev := func(e trace.Event) {
+		t.Helper()
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase A: [0, 1e9) ns, threads 4, power samples 100 and 110.
+	ev(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 0, Region: regA})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 0, Metric: thr, Value: 4})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 0, Metric: frq, Value: 2400})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 100, Metric: pow, Value: 100})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 200, Metric: vlt, Value: 0.99})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 300, Metric: pmc, Value: 2.4e9})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 350, Metric: other, Value: 777})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 400, Metric: pow, Value: 110})
+	ev(trace.Event{Kind: trace.KindLeave, Location: loc, TimeNs: 1_000_000_000, Region: regA})
+	// Inter-phase sample: must be discarded.
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 1_100_000_000, Metric: pow, Value: 9999})
+	// Phase B: [2e9, 3e9) ns, threads 8.
+	ev(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 2_000_000_000, Region: regB})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 2_000_000_000, Metric: thr, Value: 8})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 2_000_000_000, Metric: frq, Value: 2400})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 2_000_000_100, Metric: pow, Value: 150})
+	ev(trace.Event{Kind: trace.KindLeave, Location: loc, TimeNs: 3_000_000_000, Region: regB})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	return &buf
+}
+
+func TestFromTrace(t *testing.T) {
+	phases, err := FromTrace(buildTrace(t), "demo")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 2 {
+		t.Fatalf("got %d phases, want 2", len(phases))
+	}
+	a := phases[0]
+	if a.App != "demo" || a.Region != "phaseA@4" || a.Threads != 4 || a.FreqMHz != 2400 {
+		t.Fatalf("phase A header wrong: %+v", a)
+	}
+	if a.DurationS() != 1 {
+		t.Fatalf("phase A duration %v", a.DurationS())
+	}
+	if a.PowerW != 105 { // mean of 100 and 110 — 9999 between phases discarded
+		t.Fatalf("phase A power = %v, want 105", a.PowerW)
+	}
+	if a.VoltageV != 0.99 {
+		t.Fatalf("phase A voltage = %v", a.VoltageV)
+	}
+	cyc := pmu.MustByName("TOT_CYC").ID
+	if r, ok := a.Rates[cyc]; !ok || r != 2.4e9 {
+		t.Fatalf("phase A TOT_CYC rate = %v", a.Rates[cyc])
+	}
+	b := phases[1]
+	if b.Threads != 8 || b.PowerW != 150 {
+		t.Fatalf("phase B wrong: %+v", b)
+	}
+}
+
+func TestFromTraceRejectsMalformed(t *testing.T) {
+	// Nested Enter.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	loc, _ := w.DefineLocation("m")
+	reg, _ := w.DefineRegion("r")
+	_ = w.WriteEvent(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 0, Region: reg})
+	_ = w.WriteEvent(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 1, Region: reg})
+	_ = w.Close()
+	if _, err := FromTrace(&buf, "x"); err == nil {
+		t.Fatal("nested Enter must be rejected")
+	}
+
+	// Leave without Enter.
+	buf.Reset()
+	w = trace.NewWriter(&buf)
+	loc, _ = w.DefineLocation("m")
+	reg, _ = w.DefineRegion("r")
+	_ = w.WriteEvent(trace.Event{Kind: trace.KindLeave, Location: loc, TimeNs: 5, Region: reg})
+	_ = w.Close()
+	if _, err := FromTrace(&buf, "x"); err == nil {
+		t.Fatal("Leave without Enter must be rejected")
+	}
+
+	// Unterminated phase.
+	buf.Reset()
+	w = trace.NewWriter(&buf)
+	loc, _ = w.DefineLocation("m")
+	reg, _ = w.DefineRegion("r")
+	_ = w.WriteEvent(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 0, Region: reg})
+	_ = w.Close()
+	if _, err := FromTrace(&buf, "x"); err == nil {
+		t.Fatal("trace ending inside a phase must be rejected")
+	}
+}
+
+func TestPhaseKey(t *testing.T) {
+	a := &Phase{App: "w", Region: "r", Threads: 4, FreqMHz: 2400}
+	b := &Phase{App: "w", Region: "r", Threads: 4, FreqMHz: 2400}
+	c := &Phase{App: "w", Region: "r", Threads: 8, FreqMHz: 2400}
+	if a.Key() != b.Key() {
+		t.Fatal("identical phases must share a key")
+	}
+	if a.Key() == c.Key() {
+		t.Fatal("different thread counts must not share a key")
+	}
+}
+
+func TestCombineRuns(t *testing.T) {
+	cyc := pmu.MustByName("TOT_CYC").ID
+	msp := pmu.MustByName("BR_MSP").ID
+	prf := pmu.MustByName("PRF_DM").ID
+
+	run1 := []*Phase{{
+		App: "w", Region: "r@4", Threads: 4, FreqMHz: 2400,
+		StartNs: 0, EndNs: 1e9,
+		PowerW: 100, VoltageV: 0.98,
+		Rates: map[pmu.EventID]float64{cyc: 1e9, msp: 5e6},
+	}}
+	run2 := []*Phase{{
+		App: "w", Region: "r@4", Threads: 4, FreqMHz: 2400,
+		StartNs: 0, EndNs: 1e9,
+		PowerW: 104, VoltageV: 1.00,
+		Rates: map[pmu.EventID]float64{cyc: 1.1e9, prf: 3e6},
+	}}
+	merged := CombineRuns(run1, run2)
+	if len(merged) != 1 {
+		t.Fatalf("got %d merged phases, want 1", len(merged))
+	}
+	m := merged[0]
+	if m.PowerW != 102 {
+		t.Fatalf("merged power = %v, want mean 102", m.PowerW)
+	}
+	if math.Abs(m.VoltageV-0.99) > 1e-12 {
+		t.Fatalf("merged voltage = %v, want 0.99", m.VoltageV)
+	}
+	// Fixed counter measured in both runs → averaged.
+	if math.Abs(m.Rates[cyc]-1.05e9) > 1 {
+		t.Fatalf("merged TOT_CYC = %v, want 1.05e9", m.Rates[cyc])
+	}
+	// Programmable counters measured once each → union.
+	if m.Rates[msp] != 5e6 || m.Rates[prf] != 3e6 {
+		t.Fatalf("merged rates missing union: %v", m.Rates)
+	}
+}
+
+func TestCombineRunsKeepsDistinctKeys(t *testing.T) {
+	run := []*Phase{
+		{App: "w", Region: "r@4", Threads: 4, FreqMHz: 2400, StartNs: 0, EndNs: 1e9, PowerW: 100},
+		{App: "w", Region: "r@8", Threads: 8, FreqMHz: 2400, StartNs: 1e9, EndNs: 2e9, PowerW: 150},
+	}
+	merged := CombineRuns(run)
+	if len(merged) != 2 {
+		t.Fatalf("distinct phases must not merge: got %d", len(merged))
+	}
+	// Deterministic order.
+	if merged[0].Region != "r@4" || merged[1].Region != "r@8" {
+		t.Fatalf("merge order not deterministic: %v %v", merged[0].Region, merged[1].Region)
+	}
+}

@@ -1,0 +1,51 @@
+package power
+
+import (
+	"fmt"
+	"testing"
+
+	"pmcpower/internal/cpusim"
+	"pmcpower/internal/rng"
+	"pmcpower/internal/workloads"
+)
+
+// TestProbeMagnitudes prints the ground-truth power landscape when run
+// with -v; it is a calibration aid, not an assertion-bearing test.
+func TestProbeMagnitudes(t *testing.T) {
+	if !testing.Verbose() {
+		t.Skip("probe output only with -v")
+	}
+	p := cpusim.HaswellEP()
+	ex := cpusim.NewExecutor(p)
+	m := DefaultModel()
+	rnd := rng.New(1)
+
+	for _, name := range []string{"idle", "compute", "sqrt", "addpd", "memory_read", "matmul", "md", "ilbdc", "swim", "fma3d", "bwaves"} {
+		w := workloads.MustByName(name)
+		for _, f := range []int{1200, 2400, 2600} {
+			for _, n := range []int{1, 12, 24} {
+				if len(w.ThreadSweep) == 1 && n != 24 {
+					continue
+				}
+				acts, err := ex.ExecutePhases(w, f, n, 10, rnd.Split(rng.HashString(fmt.Sprintf("%s%d%d", name, f, n))))
+				if err != nil {
+					t.Fatal(err)
+				}
+				var tot, dur, core, unc, imc, stat float64
+				var ipc float64
+				for _, a := range acts {
+					b := m.NodePower(p, a)
+					tot += b.TotalW * a.DurationS
+					core += b.CoreDynW * a.DurationS
+					unc += b.UncoreDynW * a.DurationS
+					imc += b.IMCW * a.DurationS
+					stat += b.StaticW * a.DurationS
+					dur += a.DurationS
+					ipc += a.IPC() * a.DurationS
+				}
+				fmt.Printf("%-12s f=%d n=%2d  P=%7.1fW (core %6.1f unc %5.1f imc %5.1f stat %5.1f) IPC=%.2f\n",
+					name, f, n, tot/dur, core/dur, unc/dur, imc/dur, stat/dur, ipc/dur)
+			}
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("draw %d diverged: %d vs %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("seeds 1 and 2 produced %d identical draws out of 100", same)
+	}
+}
+
+func TestSplitOrderInsensitive(t *testing.T) {
+	a := New(7)
+	childBefore := a.Split(99)
+	a.Uint64() // advance parent
+	a.Uint64()
+	childAfter := a.Split(99)
+	for i := 0; i < 10; i++ {
+		if childBefore.Uint64() != childAfter.Uint64() {
+			t.Fatal("Split must be insensitive to parent draw position")
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	a := New(7)
+	c1 := a.Split(1)
+	c2 := a.Split(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if c1.Uint64() == c2.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("children of different labels collided %d/100 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64 out of range: %v", v)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := New(11)
+	var sum float64
+	const n = 200000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("uniform mean far from 0.5: %v", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(5)
+	seen := make(map[int]int)
+	for i := 0; i < 10000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) returned %d", v)
+		}
+		seen[v]++
+	}
+	for k := 0; k < 7; k++ {
+		if seen[k] == 0 {
+			t.Fatalf("Intn(7) never produced %d", k)
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) must panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestNormMoments(t *testing.T) {
+	r := New(123)
+	const n = 200000
+	var sum, sumsq float64
+	for i := 0; i < n; i++ {
+		v := r.Norm()
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Fatalf("normal mean far from 0: %v", mean)
+	}
+	if math.Abs(variance-1) > 0.03 {
+		t.Fatalf("normal variance far from 1: %v", variance)
+	}
+}
+
+func TestJitterClamp(t *testing.T) {
+	r := New(9)
+	const rel = 0.05
+	for i := 0; i < 100000; i++ {
+		j := r.Jitter(rel)
+		if j < 1-4*rel-1e-12 || j > 1+4*rel+1e-12 {
+			t.Fatalf("Jitter out of clamp range: %v", j)
+		}
+	}
+	if j := r.Jitter(0); j != 1 {
+		t.Fatalf("Jitter(0) = %v, want exactly 1", j)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(77)
+	for _, n := range []int{1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) returned %d elements", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestPermProperty(t *testing.T) {
+	// Property: any seed yields a valid permutation of any size 1..50.
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw)%50 + 1
+		p := New(seed).Perm(n)
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				return false
+			}
+			seen[v] = true
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHashStringStable(t *testing.T) {
+	if HashString("compute") != HashString("compute") {
+		t.Fatal("HashString must be deterministic")
+	}
+	if HashString("compute") == HashString("compute2") {
+		t.Fatal("distinct strings should hash differently")
+	}
+	if HashString("") == HashString("a") {
+		t.Fatal("empty string hash collided")
+	}
+}
+
+func TestShuffleKeepsElements(t *testing.T) {
+	r := New(13)
+	xs := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range xs {
+		sum += v
+	}
+	r.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	got := 0
+	for _, v := range xs {
+		got += v
+	}
+	if got != sum {
+		t.Fatalf("Shuffle altered elements: %v", xs)
+	}
+}

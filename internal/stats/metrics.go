@@ -1,0 +1,110 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// MAPE returns the mean absolute percentage error of predictions
+// against actual values, in percent — the single-number accuracy
+// metric used throughout the paper.
+//
+// Observations with |actual| below eps (1e-9) are skipped to avoid
+// division blow-ups; if all observations are skipped the result is
+// NaN.
+func MAPE(actual, predicted []float64) float64 {
+	checkPair("MAPE", actual, predicted)
+	const eps = 1e-9
+	var sum float64
+	var n int
+	for i := range actual {
+		if math.Abs(actual[i]) < eps {
+			continue
+		}
+		sum += math.Abs((actual[i] - predicted[i]) / actual[i])
+		n++
+	}
+	if n == 0 {
+		return math.NaN()
+	}
+	return 100 * sum / float64(n)
+}
+
+// MaxAPE returns the largest absolute percentage error, in percent.
+func MaxAPE(actual, predicted []float64) float64 {
+	checkPair("MaxAPE", actual, predicted)
+	const eps = 1e-9
+	mx := math.NaN()
+	for i := range actual {
+		if math.Abs(actual[i]) < eps {
+			continue
+		}
+		ape := 100 * math.Abs((actual[i]-predicted[i])/actual[i])
+		if math.IsNaN(mx) || ape > mx {
+			mx = ape
+		}
+	}
+	return mx
+}
+
+// RMSE returns the root mean square error.
+func RMSE(actual, predicted []float64) float64 {
+	checkPair("RMSE", actual, predicted)
+	var ss float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		ss += d * d
+	}
+	return math.Sqrt(ss / float64(len(actual)))
+}
+
+// MAE returns the mean absolute error.
+func MAE(actual, predicted []float64) float64 {
+	checkPair("MAE", actual, predicted)
+	var s float64
+	for i := range actual {
+		s += math.Abs(actual[i] - predicted[i])
+	}
+	return s / float64(len(actual))
+}
+
+// MeanBias returns mean(predicted − actual); positive values indicate
+// systematic overestimation (the paper discusses per-workload bias in
+// Figure 5a).
+func MeanBias(actual, predicted []float64) float64 {
+	checkPair("MeanBias", actual, predicted)
+	var s float64
+	for i := range actual {
+		s += predicted[i] - actual[i]
+	}
+	return s / float64(len(actual))
+}
+
+// R2Score returns the out-of-sample coefficient of determination
+// 1 − SSR/SST with SST centered on the actual mean. Unlike the in-fit
+// R² of an OLSResult this can be negative for predictions worse than
+// the mean.
+func R2Score(actual, predicted []float64) float64 {
+	checkPair("R2Score", actual, predicted)
+	ybar := Mean(actual)
+	var ssr, sst float64
+	for i := range actual {
+		d := actual[i] - predicted[i]
+		ssr += d * d
+		t := actual[i] - ybar
+		sst += t * t
+	}
+	if sst == 0 {
+		return math.NaN()
+	}
+	return 1 - ssr/sst
+}
+
+func checkPair(name string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("stats: %s length mismatch %d vs %d", name, len(a), len(b)))
+	}
+	if len(a) == 0 {
+		panic(fmt.Sprintf("stats: %s of empty input", name))
+	}
+}

@@ -1,0 +1,303 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pmcpower/internal/mat"
+)
+
+// CovEstimator selects the covariance estimator used for coefficient
+// standard errors in an OLS fit.
+//
+// The classic estimator σ²(XᵀX)⁻¹ assumes homoscedastic errors. The
+// HC family (White-type "sandwich" estimators) remains consistent when
+// the error variance differs across observations — the situation the
+// paper encounters ("the absolute error grows with increasing power
+// values") and addresses with statsmodels' HC3.
+type CovEstimator int
+
+const (
+	// CovClassic is the textbook homoscedastic estimator σ̂²(XᵀX)⁻¹.
+	CovClassic CovEstimator = iota
+	// CovHC0 is White (1980): meat diag(e_i²).
+	CovHC0
+	// CovHC1 applies the n/(n−k) small-sample correction to HC0.
+	CovHC1
+	// CovHC2 scales squared residuals by 1/(1−h_ii).
+	CovHC2
+	// CovHC3 scales squared residuals by 1/(1−h_ii)² — the estimator
+	// recommended by Long & Ervin (2000) and used by the paper.
+	CovHC3
+)
+
+// String returns the statsmodels-style name of the estimator.
+func (c CovEstimator) String() string {
+	switch c {
+	case CovClassic:
+		return "nonrobust"
+	case CovHC0:
+		return "HC0"
+	case CovHC1:
+		return "HC1"
+	case CovHC2:
+		return "HC2"
+	case CovHC3:
+		return "HC3"
+	default:
+		return fmt.Sprintf("CovEstimator(%d)", int(c))
+	}
+}
+
+// ErrDegenerate is returned when an OLS fit has too few observations
+// for its number of regressors, or a rank-deficient design matrix.
+var ErrDegenerate = errors.New("stats: degenerate regression (rank-deficient design or too few observations)")
+
+// OLSResult holds a fitted ordinary-least-squares model.
+type OLSResult struct {
+	// Coeffs are the fitted coefficients, in design-matrix column
+	// order. When the fit was made with an intercept, Coeffs[0] is the
+	// intercept.
+	Coeffs []float64
+	// StdErr holds the coefficient standard errors under the chosen
+	// covariance estimator, aligned with Coeffs.
+	StdErr []float64
+	// TStats are Coeffs[i]/StdErr[i].
+	TStats []float64
+	// PValues are two-sided p-values of the t statistics with
+	// n−k degrees of freedom.
+	PValues []float64
+
+	// Fitted and Residuals align with the input rows.
+	Fitted    []float64
+	Residuals []float64
+
+	// R2 and AdjR2 are the (adjusted) coefficient of determination.
+	R2    float64
+	AdjR2 float64
+
+	// SigmaSq is the residual variance estimate SSR/(n−k).
+	SigmaSq float64
+	// Cov is the full coefficient covariance matrix under the chosen
+	// estimator (k×k, aligned with Coeffs). StdErr is its diagonal's
+	// square root.
+	Cov *mat.Matrix
+	// Leverages are the hat-matrix diagonal h_ii (needed by HC2/HC3
+	// and useful diagnostics on their own).
+	Leverages []float64
+
+	// N and K are the number of observations and regressors (including
+	// the intercept if present).
+	N, K int
+	// Estimator records which covariance estimator produced StdErr.
+	Estimator CovEstimator
+	// Intercept records whether column 0 is an intercept added by Fit.
+	Intercept bool
+}
+
+// OLSOptions configures an OLS fit.
+type OLSOptions struct {
+	// Intercept prepends a constant-1 column to the design matrix.
+	Intercept bool
+	// Estimator selects the covariance estimator for standard errors.
+	Estimator CovEstimator
+}
+
+// FitOLS regresses y on the columns of x (n rows, k columns) by
+// ordinary least squares via Householder QR. It returns ErrDegenerate
+// for rank-deficient designs or n <= k.
+//
+// When opts.Intercept is set, a leading constant column is added and
+// R² is computed against the mean-centered total sum of squares
+// (the standard definition); without an intercept, R² is uncentered,
+// matching statsmodels' behaviour.
+func FitOLS(x *mat.Matrix, y []float64, opts OLSOptions) (*OLSResult, error) {
+	if x.Rows() != len(y) {
+		return nil, fmt.Errorf("stats: FitOLS rows mismatch: x has %d, y has %d", x.Rows(), len(y))
+	}
+	design := x
+	if opts.Intercept {
+		design = prependOnes(x)
+	}
+	n, k := design.Rows(), design.Cols()
+	if n <= k {
+		return nil, fmt.Errorf("%w: n=%d k=%d", ErrDegenerate, n, k)
+	}
+
+	qr := mat.DecomposeQR(design)
+	coeffs, err := qr.Solve(y)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+
+	fitted := design.MulVec(coeffs)
+	resid := make([]float64, n)
+	var ssr float64
+	for i := range y {
+		resid[i] = y[i] - fitted[i]
+		ssr += resid[i] * resid[i]
+	}
+
+	// Total sum of squares: centered iff an intercept is present.
+	var sst float64
+	if opts.Intercept {
+		ybar := Mean(y)
+		for _, v := range y {
+			d := v - ybar
+			sst += d * d
+		}
+	} else {
+		for _, v := range y {
+			sst += v * v
+		}
+	}
+	r2 := 0.0
+	if sst > 0 {
+		r2 = 1 - ssr/sst
+	}
+	// Adjusted R² with the standard dfs: for the centered case the
+	// total df is n−1; uncentered it is n.
+	dfTotal := float64(n)
+	if opts.Intercept {
+		dfTotal = float64(n - 1)
+	}
+	adjR2 := 1 - (1-r2)*dfTotal/float64(n-k)
+
+	sigmaSq := ssr / float64(n-k)
+
+	// (XᵀX)⁻¹ = R⁻¹ R⁻ᵀ from the QR factor ("bread").
+	rinv, err := qr.RInverse()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrDegenerate, err)
+	}
+	bread := mat.Mul(rinv, rinv.T()) // k×k
+
+	// Leverages h_ii = x_iᵀ (XᵀX)⁻¹ x_i, computed row-wise.
+	lev := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xi := design.Row(i)
+		bx := bread.MulVec(xi)
+		var h float64
+		for j := range xi {
+			h += xi[j] * bx[j]
+		}
+		lev[i] = h
+	}
+
+	cov, err := covariance(design, bread, resid, lev, sigmaSq, opts.Estimator)
+	if err != nil {
+		return nil, err
+	}
+
+	se := make([]float64, k)
+	ts := make([]float64, k)
+	pv := make([]float64, k)
+	df := float64(n - k)
+	for j := 0; j < k; j++ {
+		v := cov.At(j, j)
+		if v < 0 {
+			// Tiny negative diagonal from round-off; clamp.
+			v = 0
+		}
+		se[j] = math.Sqrt(v)
+		if se[j] > 0 {
+			ts[j] = coeffs[j] / se[j]
+			pv[j] = 2 * studentTSF(math.Abs(ts[j]), df)
+		} else {
+			ts[j] = math.Inf(1)
+			pv[j] = 0
+		}
+	}
+
+	return &OLSResult{
+		Coeffs:    coeffs,
+		StdErr:    se,
+		TStats:    ts,
+		PValues:   pv,
+		Fitted:    fitted,
+		Residuals: resid,
+		R2:        r2,
+		AdjR2:     adjR2,
+		SigmaSq:   sigmaSq,
+		Cov:       cov,
+		Leverages: lev,
+		N:         n,
+		K:         k,
+		Estimator: opts.Estimator,
+		Intercept: opts.Intercept,
+	}, nil
+}
+
+// covariance computes the chosen coefficient covariance matrix.
+// bread = (XᵀX)⁻¹; HC estimators use the sandwich
+// (XᵀX)⁻¹ Xᵀ diag(w_i e_i²) X (XᵀX)⁻¹.
+func covariance(design, bread *mat.Matrix, resid, lev []float64, sigmaSq float64, est CovEstimator) (*mat.Matrix, error) {
+	n, k := design.Rows(), design.Cols()
+	if est == CovClassic {
+		cov := bread.Clone()
+		for i := 0; i < k; i++ {
+			for j := 0; j < k; j++ {
+				cov.Set(i, j, cov.At(i, j)*sigmaSq)
+			}
+		}
+		return cov, nil
+	}
+
+	w := make([]float64, n)
+	for i := 0; i < n; i++ {
+		e2 := resid[i] * resid[i]
+		switch est {
+		case CovHC0:
+			w[i] = e2
+		case CovHC1:
+			w[i] = e2 * float64(n) / float64(n-k)
+		case CovHC2:
+			d := 1 - lev[i]
+			if d < 1e-10 {
+				d = 1e-10
+			}
+			w[i] = e2 / d
+		case CovHC3:
+			d := 1 - lev[i]
+			if d < 1e-10 {
+				d = 1e-10
+			}
+			w[i] = e2 / (d * d)
+		default:
+			return nil, fmt.Errorf("stats: unknown covariance estimator %v", est)
+		}
+	}
+
+	// meat = Xᵀ diag(w) X.
+	scaled := design.Clone().ScaleRows(w)
+	meat := mat.Mul(design.T(), scaled)
+	cov := mat.Mul(mat.Mul(bread, meat), bread)
+	return cov, nil
+}
+
+// Predict evaluates the fitted model on new rows (same column layout as
+// the design matrix given to FitOLS, excluding the intercept column —
+// it is re-added automatically when the model was fit with one).
+func (r *OLSResult) Predict(x *mat.Matrix) []float64 {
+	design := x
+	if r.Intercept {
+		design = prependOnes(x)
+	}
+	if design.Cols() != len(r.Coeffs) {
+		panic(fmt.Sprintf("stats: Predict column mismatch: model has %d coefficients, input provides %d columns",
+			len(r.Coeffs), design.Cols()))
+	}
+	return design.MulVec(r.Coeffs)
+}
+
+func prependOnes(x *mat.Matrix) *mat.Matrix {
+	out := mat.New(x.Rows(), x.Cols()+1)
+	for i := 0; i < x.Rows(); i++ {
+		out.Set(i, 0, 1)
+		for j := 0; j < x.Cols(); j++ {
+			out.Set(i, j+1, x.At(i, j))
+		}
+	}
+	return out
+}

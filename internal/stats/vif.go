@@ -1,0 +1,77 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+
+	"pmcpower/internal/mat"
+)
+
+// VIF computes the variance inflation factor for every column of x.
+//
+// The VIF of column j is 1/(1−R²_j) where R²_j is the coefficient of
+// determination of an auxiliary OLS regression (with intercept)
+// predicting column j from all other columns. VIF(j)=1 means column j
+// is orthogonal to the rest; values above ~10 conventionally indicate
+// multicollinearity problems (Kutner 2004; Hair 2010), the threshold
+// the paper applies.
+//
+// A column perfectly explained by the others yields +Inf.
+// VIF requires at least two columns; for a single column the result is
+// a one-element slice containing NaN (matching the "n/a" entry in the
+// paper's Tables I and IV for the first selected counter).
+func VIF(x *mat.Matrix) ([]float64, error) {
+	k := x.Cols()
+	out := make([]float64, k)
+	if k == 1 {
+		out[0] = math.NaN()
+		return out, nil
+	}
+	for j := 0; j < k; j++ {
+		others := dropColumn(x, j)
+		res, err := FitOLS(others, x.Col(j), OLSOptions{Intercept: true})
+		if err != nil {
+			return nil, fmt.Errorf("stats: VIF auxiliary regression for column %d: %w", j, err)
+		}
+		r2 := res.R2
+		if r2 >= 1 {
+			out[j] = math.Inf(1)
+			continue
+		}
+		v := 1 / (1 - r2)
+		// Auxiliary R² can come out slightly negative for a column
+		// orthogonal to the rest (uncentered corner cases); clamp to
+		// the theoretical minimum of 1.
+		if v < 1 {
+			v = 1
+		}
+		out[j] = v
+	}
+	return out, nil
+}
+
+// MeanVIF returns the mean variance inflation factor over all columns,
+// the stability indicator used by the paper. The NaN produced for a
+// single-column input propagates; an Inf VIF yields +Inf.
+func MeanVIF(x *mat.Matrix) (float64, error) {
+	vs, err := VIF(x)
+	if err != nil {
+		return 0, err
+	}
+	return Mean(vs), nil
+}
+
+func dropColumn(x *mat.Matrix, drop int) *mat.Matrix {
+	out := mat.New(x.Rows(), x.Cols()-1)
+	for i := 0; i < x.Rows(); i++ {
+		jj := 0
+		for j := 0; j < x.Cols(); j++ {
+			if j == drop {
+				continue
+			}
+			out.Set(i, jj, x.At(i, j))
+			jj++
+		}
+	}
+	return out
+}

@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Low-level varint encoding helpers shared by the writer and reader.
+// Timestamps are delta-encoded per location before varint packing —
+// the dominant space saving identified by the OTF2 enhanced-encoding
+// work for monotone event times.
+
+type encoder struct {
+	w *bufio.Writer
+	// lastTime tracks the previous timestamp per location for delta
+	// encoding.
+	lastTime map[Ref]uint64
+}
+
+func newEncoder(w io.Writer) *encoder {
+	return &encoder{w: bufio.NewWriter(w), lastTime: make(map[Ref]uint64)}
+}
+
+func (e *encoder) uvarint(v uint64) error {
+	var buf [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(buf[:], v)
+	_, err := e.w.Write(buf[:n])
+	return err
+}
+
+func (e *encoder) str(s string) error {
+	if err := e.uvarint(uint64(len(s))); err != nil {
+		return err
+	}
+	_, err := e.w.WriteString(s)
+	return err
+}
+
+func (e *encoder) f64(v float64) error {
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+	_, err := e.w.Write(buf[:])
+	return err
+}
+
+func (e *encoder) byte(b uint8) error {
+	return e.w.WriteByte(b)
+}
+
+func (e *encoder) flush() error { return e.w.Flush() }
+
+type decoder struct {
+	r        *bufio.Reader
+	lastTime map[Ref]uint64
+}
+
+func newDecoder(r io.Reader) *decoder {
+	return &decoder{r: bufio.NewReader(r), lastTime: make(map[Ref]uint64)}
+}
+
+func (d *decoder) uvarint() (uint64, error) {
+	return binary.ReadUvarint(d.r)
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.uvarint()
+	if err != nil {
+		return "", err
+	}
+	if n > 1<<20 {
+		return "", fmt.Errorf("trace: implausible string length %d", n)
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(d.r, buf); err != nil {
+		return "", err
+	}
+	return string(buf), nil
+}
+
+func (d *decoder) f64() (float64, error) {
+	var buf [8]byte
+	if _, err := io.ReadFull(d.r, buf[:]); err != nil {
+		return 0, err
+	}
+	return math.Float64frombits(binary.LittleEndian.Uint64(buf[:])), nil
+}
+
+func (d *decoder) byte() (uint8, error) {
+	return d.r.ReadByte()
+}

@@ -1,0 +1,112 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"pmcpower/internal/rng"
+)
+
+// TestReaderSurvivesGarbage feeds the reader random byte streams: it
+// must always return an error (or a truncated-but-valid prefix), never
+// panic or spin.
+func TestReaderSurvivesGarbage(t *testing.T) {
+	r := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + r.Intn(300)
+		buf := make([]byte, n)
+		for i := range buf {
+			buf[i] = byte(r.Uint64())
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: reader panicked on garbage: %v", trial, p)
+				}
+			}()
+			rd, err := NewReader(bytes.NewReader(buf))
+			if err != nil {
+				return // rejected at the header — fine
+			}
+			// Drain with a hard cap: garbage must not produce
+			// unbounded events.
+			for i := 0; i < 10000; i++ {
+				if _, err := rd.Next(); err != nil {
+					return
+				}
+			}
+			t.Fatalf("trial %d: garbage stream produced 10000 events", trial)
+		}()
+	}
+}
+
+// TestReaderSurvivesCorruptedValidTrace flips bytes inside a valid
+// archive: the reader must fail cleanly or deliver a sane prefix.
+func TestReaderSurvivesCorruptedValidTrace(t *testing.T) {
+	valid := buildSample(t).Bytes()
+	r := rng.New(7)
+	for trial := 0; trial < 300; trial++ {
+		buf := append([]byte(nil), valid...)
+		// Flip 1–4 bytes after the magic.
+		for k := 0; k <= r.Intn(4); k++ {
+			pos := len(Magic) + r.Intn(len(buf)-len(Magic))
+			buf[pos] ^= byte(1 + r.Intn(255))
+		}
+		func() {
+			defer func() {
+				if p := recover(); p != nil {
+					t.Fatalf("trial %d: reader panicked on corruption: %v", trial, p)
+				}
+			}()
+			rd, err := NewReader(bytes.NewReader(buf))
+			if err != nil {
+				return
+			}
+			count := 0
+			for {
+				ev, err := rd.Next()
+				if err != nil {
+					return // clean failure or EOF
+				}
+				// Whatever is delivered must be structurally sane.
+				if ev.Kind != KindEnter && ev.Kind != KindLeave && ev.Kind != KindMetric {
+					t.Fatalf("trial %d: reader delivered invalid kind %d", trial, ev.Kind)
+				}
+				count++
+				if count > 1000 {
+					t.Fatalf("trial %d: corrupted 4-event archive produced >1000 events", trial)
+				}
+			}
+		}()
+	}
+}
+
+// TestReaderEmptyInput covers the zero-byte corner.
+func TestReaderEmptyInput(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty input must be rejected")
+	}
+	if _, err := NewReader(bytes.NewReader([]byte(Magic))); err == nil {
+		// Magic alone, no definition counts.
+		t.Fatal("header-only input must be rejected")
+	}
+}
+
+// TestReadAllAfterEOF: repeated reads at EOF stay at EOF.
+func TestReadAllAfterEOF(t *testing.T) {
+	buf := buildSample(t)
+	rd, err := NewReader(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.ReadAll(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := rd.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("read after EOF returned %v", err)
+		}
+	}
+}

@@ -1,0 +1,147 @@
+// Package trace implements a compact binary event-trace format in the
+// spirit of Open Trace Format 2 (OTF2), the format Score-P emits and
+// the paper's acquisition pipeline is built around: "It consists of a
+// stream of events chronologically ordered by the time of their
+// occurrence, and information about the state and configuration of the
+// target system."
+//
+// An archive holds definition records (locations, regions, metrics)
+// followed by an event stream (Enter, Leave, Metric). Encoding uses
+// unsigned varints with per-location timestamp deltas — the "enhanced
+// encoding techniques" of Wagner et al. that OTF2 applies to keep
+// traces small.
+//
+// The package replaces Score-P/OTF2 in the reproduction: the simulated
+// runs are recorded through metric plugins into an archive, and the
+// phase-profile post-processing (internal/phaseprofile) consumes the
+// archive exactly as the paper's HAEC-SIM module and custom OTF2 tool
+// consume real traces.
+package trace
+
+import "fmt"
+
+// Magic identifies archive files/streams.
+const Magic = "PMCTRC.1"
+
+// Ref is a definition reference (location, region or metric ID).
+type Ref uint32
+
+// MetricMode describes how a metric's samples relate to program
+// execution, mirroring the Score-P metric plugin interface's
+// synchronicity modes.
+type MetricMode uint8
+
+const (
+	// MetricSync metrics are sampled at event boundaries (strictly
+	// synchronous plugins).
+	MetricSync MetricMode = iota
+	// MetricAsync metrics are sampled on their own schedule and
+	// attached to the trace with their own timestamps (asynchronous
+	// plugins such as power meters and the apapi sampler).
+	MetricAsync
+)
+
+func (m MetricMode) String() string {
+	switch m {
+	case MetricSync:
+		return "sync"
+	case MetricAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("MetricMode(%d)", uint8(m))
+	}
+}
+
+// Location is an execution location (a thread on a core), a
+// definition record.
+type Location struct {
+	Ref  Ref
+	Name string
+}
+
+// Region is a code region (a phase of the instrumented application).
+type Region struct {
+	Ref  Ref
+	Name string
+}
+
+// Metric describes one recorded metric (power, voltage, or one PMC).
+type Metric struct {
+	Ref  Ref
+	Name string
+	Unit string
+	Mode MetricMode
+}
+
+// EventKind discriminates event records.
+type EventKind uint8
+
+const (
+	// KindEnter marks entry into a region.
+	KindEnter EventKind = 1
+	// KindLeave marks exit from a region.
+	KindLeave EventKind = 2
+	// KindMetric carries one metric sample.
+	KindMetric EventKind = 3
+)
+
+func (k EventKind) String() string {
+	switch k {
+	case KindEnter:
+		return "Enter"
+	case KindLeave:
+		return "Leave"
+	case KindMetric:
+		return "Metric"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// Event is one trace event. TimeNs is nanoseconds since trace start.
+// Region is set for Enter/Leave; Metric and Value for Metric events.
+type Event struct {
+	Kind     EventKind
+	Location Ref
+	TimeNs   uint64
+	Region   Ref
+	Metric   Ref
+	Value    float64
+}
+
+// Definitions is the definition section of an archive.
+type Definitions struct {
+	Locations []Location
+	Regions   []Region
+	Metrics   []Metric
+}
+
+// LocationByName finds a location definition by name.
+func (d *Definitions) LocationByName(name string) (Location, bool) {
+	for _, l := range d.Locations {
+		if l.Name == name {
+			return l, true
+		}
+	}
+	return Location{}, false
+}
+
+// RegionByName finds a region definition by name.
+func (d *Definitions) RegionByName(name string) (Region, bool) {
+	for _, r := range d.Regions {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Region{}, false
+}
+
+// MetricByName finds a metric definition by name.
+func (d *Definitions) MetricByName(name string) (Metric, bool) {
+	for _, m := range d.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}

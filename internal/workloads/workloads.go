@@ -1,0 +1,271 @@
+// Package workloads defines the benchmark programs the simulated
+// system executes: the roco2-style synthetic workload kernels and
+// proxies for the SPEC OMP2012 applications used by the paper.
+//
+// A workload is described as one or more phases; each phase carries a
+// statistical micro-architecture profile — instruction mix, cache and
+// TLB miss intensities, branch behaviour, prefetcher activity, and
+// scaling characteristics. internal/cpusim turns a (phase, frequency,
+// thread count, duration) tuple into performance counter values and
+// activity factors, and internal/power turns those activities into
+// watts.
+//
+// The synthetic kernels deliberately have narrow, steady profiles
+// (they are micro-kernels that exercise one corner of the machine),
+// while the SPEC proxies have multiple phases and substantially wider
+// dynamic ranges. This gap is what drives the paper's scenario-2
+// degradation (training only on synthetic workloads) and the Table IV
+// instability discussion.
+package workloads
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Class partitions workloads into the two suites used by the paper.
+type Class int
+
+const (
+	// Synthetic marks roco2-style workload generator kernels.
+	Synthetic Class = iota
+	// SPEC marks SPEC OMP2012 proxy applications.
+	SPEC
+)
+
+func (c Class) String() string {
+	switch c {
+	case Synthetic:
+		return "roco2"
+	case SPEC:
+		return "SPEC OMP2012"
+	default:
+		return fmt.Sprintf("Class(%d)", int(c))
+	}
+}
+
+// Phase is a steady-state execution region with a fixed
+// micro-architectural character. All *PKI fields are events per 1000
+// retired instructions ("per kilo-instruction").
+type Phase struct {
+	Name string
+	// Weight is the relative share of the workload's runtime spent in
+	// this phase. Weights are normalized by the simulator; they need
+	// not sum to 1.
+	Weight float64
+
+	// --- instruction mix (fractions of retired instructions) ---
+
+	LoadFrac         float64 // load instructions
+	StoreFrac        float64 // store instructions
+	CondBranchFrac   float64 // conditional branches
+	UncondBranchFrac float64 // unconditional branches (calls, jumps)
+	FPScalarSPFrac   float64 // scalar single-precision FP instructions
+	FPScalarDPFrac   float64 // scalar double-precision FP instructions
+	VecSPFrac        float64 // packed/SIMD single-precision instructions
+	VecDPFrac        float64 // packed/SIMD double-precision instructions
+
+	// VecWidth is the average number of FP operations per vector
+	// instruction (4 for 256-bit DP AVX, 8 for 256-bit SP AVX).
+	VecWidthSP float64
+	VecWidthDP float64
+
+	// --- branch behaviour ---
+
+	TakenFrac float64 // fraction of conditional branches taken
+	MispFrac  float64 // fraction of conditional branches mispredicted
+
+	// --- cache behaviour, demand misses per kilo-instruction ---
+
+	L1DMissPKI float64 // L1D demand misses (→ L2)
+	L2DMissPKI float64 // L2 data misses (→ L3); must be <= L1DMissPKI
+	L3MissPKI  float64 // L3 misses (→ DRAM);  must be <= L2DMissPKI + PrefMissPKI
+	L1IMissPKI float64 // L1I misses
+	L2IMissPKI float64 // L2 instruction misses
+
+	// StoreMissShare is the share of L1D/L2 data misses caused by
+	// stores (RFO traffic).
+	StoreMissShare float64
+
+	// --- TLB ---
+
+	TLBDMissPKI float64 // data TLB misses
+	TLBIMissPKI float64 // instruction TLB misses
+
+	// --- hardware prefetcher ---
+
+	PrefPKI     float64 // prefetch requests issued per kilo-instruction
+	PrefMissPKI float64 // prefetches missing the cache (PAPI_PRF_DM)
+
+	// --- pipeline character ---
+
+	// BaseIPC is the retirement throughput the phase sustains when no
+	// memory stalls occur (instructions per cycle, up to 4 on Haswell).
+	BaseIPC float64
+	// FullIssueFrac / FullRetireFrac are the fractions of non-stalled
+	// cycles issuing/retiring at maximum width.
+	FullIssueFrac  float64
+	FullRetireFrac float64
+	// MLP is the average memory-level parallelism: how many outstanding
+	// misses overlap, dividing the effective stall penalty.
+	MLP float64
+	// MemWriteCycFrac is the fraction of cycles spent waiting on
+	// memory writes (PAPI_MEM_WCY).
+	MemWriteCycFrac float64
+
+	// --- coherence / sharing ---
+
+	// SnoopPKI is the snoop request rate at a single thread;
+	// SnoopThreadScale adds per-extra-thread snoop traffic
+	// (sharing-induced coherence activity).
+	SnoopPKI         float64
+	SnoopThreadScale float64
+
+	// --- scaling behaviour ---
+
+	// ParallelEff in (0,1]: parallel efficiency at full thread count;
+	// 1 means perfectly independent threads.
+	ParallelEff float64
+	// BWPerInstr is bytes of DRAM traffic per instruction implied by
+	// the miss profile; the simulator derives it from L3MissPKI and
+	// PrefMissPKI, but a phase can override it (e.g. streaming stores).
+	BWPerInstrOverride float64
+
+	// DutyCycle is the fraction of wall time the cores are unhalted in
+	// this phase (idle kernels sit in deep C-states most of the time).
+	// Zero means 1.0 (fully active).
+	DutyCycle float64
+}
+
+// Workload is a named benchmark with one or more phases.
+type Workload struct {
+	Name  string
+	Class Class
+	// Excluded mirrors the paper's exclusion of kdtree, imagick,
+	// smithwa and botsspar ("failed to build or crashed on our test
+	// system"). Excluded workloads stay in the registry but are
+	// skipped by the experiment harness.
+	Excluded bool
+	// ThreadSweep lists the thread counts the workload is executed
+	// with. roco2 kernels sweep thread counts (the workload generator
+	// steps through them); SPEC applications run at full width only.
+	ThreadSweep []int
+	Phases      []Phase
+	// Description explains what the (real) workload does.
+	Description string
+}
+
+// Validate checks internal consistency of the workload definition.
+func (w *Workload) Validate() error {
+	if w.Name == "" {
+		return fmt.Errorf("workloads: workload with empty name")
+	}
+	if len(w.Phases) == 0 {
+		return fmt.Errorf("workloads: %s has no phases", w.Name)
+	}
+	if len(w.ThreadSweep) == 0 {
+		return fmt.Errorf("workloads: %s has no thread sweep", w.Name)
+	}
+	for _, n := range w.ThreadSweep {
+		if n < 1 {
+			return fmt.Errorf("workloads: %s has invalid thread count %d", w.Name, n)
+		}
+	}
+	for i, p := range w.Phases {
+		if p.Weight < 0 {
+			return fmt.Errorf("workloads: %s phase %d has negative weight", w.Name, i)
+		}
+		mix := p.LoadFrac + p.StoreFrac + p.CondBranchFrac + p.UncondBranchFrac +
+			p.FPScalarSPFrac + p.FPScalarDPFrac + p.VecSPFrac + p.VecDPFrac
+		if mix > 1.0001 {
+			return fmt.Errorf("workloads: %s phase %q instruction mix sums to %.3f > 1", w.Name, p.Name, mix)
+		}
+		if p.BaseIPC <= 0 || p.BaseIPC > 4 {
+			return fmt.Errorf("workloads: %s phase %q BaseIPC %.2f outside (0,4]", w.Name, p.Name, p.BaseIPC)
+		}
+		if p.L2DMissPKI > p.L1DMissPKI+1e-9 {
+			return fmt.Errorf("workloads: %s phase %q L2 misses exceed L1 misses", w.Name, p.Name)
+		}
+		if p.L3MissPKI > p.L2DMissPKI+p.L2IMissPKI+p.PrefMissPKI+1e-9 {
+			return fmt.Errorf("workloads: %s phase %q L3 misses exceed inbound traffic", w.Name, p.Name)
+		}
+		if p.MispFrac < 0 || p.MispFrac > 1 || p.TakenFrac < 0 || p.TakenFrac > 1 {
+			return fmt.Errorf("workloads: %s phase %q branch fractions out of range", w.Name, p.Name)
+		}
+		if p.MLP < 1 && p.MLP != 0 {
+			return fmt.Errorf("workloads: %s phase %q MLP %.2f below 1", w.Name, p.Name, p.MLP)
+		}
+		if p.ParallelEff <= 0 || p.ParallelEff > 1 {
+			return fmt.Errorf("workloads: %s phase %q ParallelEff %.2f outside (0,1]", w.Name, p.Name, p.ParallelEff)
+		}
+		if p.DutyCycle < 0 || p.DutyCycle > 1 {
+			return fmt.Errorf("workloads: %s phase %q DutyCycle out of range", w.Name, p.Name)
+		}
+	}
+	return nil
+}
+
+// registry holds all defined workloads, keyed by name.
+var registry = map[string]*Workload{}
+
+func register(w *Workload) *Workload {
+	if err := w.Validate(); err != nil {
+		panic(err)
+	}
+	if _, dup := registry[w.Name]; dup {
+		panic("workloads: duplicate workload " + w.Name)
+	}
+	registry[w.Name] = w
+	return w
+}
+
+// ByName returns the workload with the given name.
+func ByName(name string) (*Workload, error) {
+	if w, ok := registry[name]; ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("workloads: unknown workload %q", name)
+}
+
+// MustByName is ByName that panics on unknown names.
+func MustByName(name string) *Workload {
+	w, err := ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	return w
+}
+
+// All returns every registered workload sorted by name, including
+// excluded ones.
+func All() []*Workload {
+	out := make([]*Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Active returns all non-excluded workloads sorted by name.
+func Active() []*Workload {
+	var out []*Workload
+	for _, w := range All() {
+		if !w.Excluded {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// ActiveByClass returns all non-excluded workloads of the given class,
+// sorted by name.
+func ActiveByClass(c Class) []*Workload {
+	var out []*Workload
+	for _, w := range Active() {
+		if w.Class == c {
+			out = append(out, w)
+		}
+	}
+	return out
+}

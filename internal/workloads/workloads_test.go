@@ -1,0 +1,223 @@
+package workloads
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryComposition(t *testing.T) {
+	all := All()
+	if len(all) == 0 {
+		t.Fatal("empty registry")
+	}
+	var synth, spec, excluded int
+	for _, w := range all {
+		switch w.Class {
+		case Synthetic:
+			synth++
+		case SPEC:
+			spec++
+		}
+		if w.Excluded {
+			excluded++
+		}
+	}
+	if synth != 11 {
+		t.Fatalf("%d synthetic kernels, want 11", synth)
+	}
+	if spec != 14 {
+		t.Fatalf("%d SPEC proxies, want 14 (the full OMP2012 suite)", spec)
+	}
+	// The paper excludes exactly kdtree, imagick, smithwa, botsspar.
+	if excluded != 4 {
+		t.Fatalf("%d excluded workloads, want 4", excluded)
+	}
+	for _, name := range []string{"kdtree", "imagick", "smithwa", "botsspar"} {
+		w := MustByName(name)
+		if !w.Excluded {
+			t.Fatalf("%s must be excluded (paper §IV)", name)
+		}
+	}
+}
+
+func TestActiveExcludesExcluded(t *testing.T) {
+	for _, w := range Active() {
+		if w.Excluded {
+			t.Fatalf("Active returned excluded workload %s", w.Name)
+		}
+	}
+	if len(Active())+4 != len(All()) {
+		t.Fatalf("Active (%d) + 4 exclusions != All (%d)", len(Active()), len(All()))
+	}
+}
+
+func TestActiveByClass(t *testing.T) {
+	syn := ActiveByClass(Synthetic)
+	spec := ActiveByClass(SPEC)
+	if len(syn) != 11 {
+		t.Fatalf("%d active synthetic, want 11", len(syn))
+	}
+	if len(spec) != 10 {
+		t.Fatalf("%d active SPEC, want 10 (14 − 4 exclusions)", len(spec))
+	}
+	for _, w := range syn {
+		if w.Class != Synthetic {
+			t.Fatalf("%s misclassified", w.Name)
+		}
+	}
+}
+
+func TestPaperWorkloadsPresent(t *testing.T) {
+	// Workloads the paper names explicitly.
+	for _, name := range []string{"ilbdc", "sqrt", "md", "nab", "compute"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("paper workload %s missing: %v", name, err)
+		}
+	}
+}
+
+func TestByNameErrors(t *testing.T) {
+	if _, err := ByName("not-a-workload"); err == nil {
+		t.Fatal("unknown workload must error")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustByName must panic on unknown workload")
+		}
+	}()
+	MustByName("not-a-workload")
+}
+
+func TestAllWorkloadsValidate(t *testing.T) {
+	for _, w := range All() {
+		if err := w.Validate(); err != nil {
+			t.Fatalf("registered workload fails validation: %v", err)
+		}
+	}
+}
+
+func TestAllSortedAndStable(t *testing.T) {
+	a := All()
+	for i := 1; i < len(a); i++ {
+		if a[i-1].Name >= a[i].Name {
+			t.Fatalf("All not sorted at %d: %s >= %s", i, a[i-1].Name, a[i].Name)
+		}
+	}
+}
+
+func TestThreadSweeps(t *testing.T) {
+	for _, w := range All() {
+		switch w.Class {
+		case Synthetic:
+			if len(w.ThreadSweep) < 2 {
+				t.Fatalf("synthetic kernel %s must sweep thread counts", w.Name)
+			}
+			if w.ThreadSweep[len(w.ThreadSweep)-1] != 24 {
+				t.Fatalf("synthetic kernel %s must reach the full 24 threads", w.Name)
+			}
+		case SPEC:
+			if len(w.ThreadSweep) != 1 || w.ThreadSweep[0] != 24 {
+				t.Fatalf("SPEC proxy %s must run at exactly 24 threads", w.Name)
+			}
+		}
+	}
+}
+
+func TestSPECWiderThanSynthetic(t *testing.T) {
+	// The scenario-2 story requires SPEC proxies to exceed the
+	// synthetic envelope on instruction-side pressure.
+	maxSyn := func(get func(Phase) float64) float64 {
+		var mx float64
+		for _, w := range ActiveByClass(Synthetic) {
+			for _, p := range w.Phases {
+				if v := get(p); v > mx {
+					mx = v
+				}
+			}
+		}
+		return mx
+	}
+	maxSpec := func(get func(Phase) float64) float64 {
+		var mx float64
+		for _, w := range ActiveByClass(SPEC) {
+			for _, p := range w.Phases {
+				if v := get(p); v > mx {
+					mx = v
+				}
+			}
+		}
+		return mx
+	}
+	l1i := func(p Phase) float64 { return p.L1IMissPKI }
+	tlbi := func(p Phase) float64 { return p.TLBIMissPKI }
+	if maxSpec(l1i) < 4*maxSyn(l1i) {
+		t.Fatalf("SPEC L1I pressure (%.2f) must far exceed synthetic (%.2f)", maxSpec(l1i), maxSyn(l1i))
+	}
+	if maxSpec(tlbi) < 4*maxSyn(tlbi) {
+		t.Fatalf("SPEC iTLB pressure (%.2f) must far exceed synthetic (%.2f)", maxSpec(tlbi), maxSyn(tlbi))
+	}
+}
+
+func TestValidateCatchesBadDefinitions(t *testing.T) {
+	base := Phase{Name: "p", Weight: 1, BaseIPC: 1, MLP: 1, ParallelEff: 1}
+	cases := []struct {
+		name string
+		mut  func(*Workload)
+	}{
+		{"empty name", func(w *Workload) { w.Name = "" }},
+		{"no phases", func(w *Workload) { w.Phases = nil }},
+		{"no threads", func(w *Workload) { w.ThreadSweep = nil }},
+		{"bad threads", func(w *Workload) { w.ThreadSweep = []int{0} }},
+		{"mix overflow", func(w *Workload) { w.Phases[0].LoadFrac = 0.9; w.Phases[0].StoreFrac = 0.3 }},
+		{"zero IPC", func(w *Workload) { w.Phases[0].BaseIPC = 0 }},
+		{"IPC too high", func(w *Workload) { w.Phases[0].BaseIPC = 5 }},
+		{"L2 > L1 misses", func(w *Workload) { w.Phases[0].L1DMissPKI = 1; w.Phases[0].L2DMissPKI = 2 }},
+		{"L3 > inbound", func(w *Workload) { w.Phases[0].L3MissPKI = 5 }},
+		{"bad misp", func(w *Workload) { w.Phases[0].MispFrac = 1.5 }},
+		{"bad MLP", func(w *Workload) { w.Phases[0].MLP = 0.5 }},
+		{"bad eff", func(w *Workload) { w.Phases[0].ParallelEff = 0 }},
+		{"bad duty", func(w *Workload) { w.Phases[0].DutyCycle = 1.5 }},
+		{"negative weight", func(w *Workload) { w.Phases[0].Weight = -1 }},
+	}
+	for _, tc := range cases {
+		w := &Workload{Name: "test", ThreadSweep: []int{1}, Phases: []Phase{base}}
+		tc.mut(w)
+		if err := w.Validate(); err == nil {
+			t.Fatalf("case %q: Validate must fail", tc.name)
+		}
+	}
+	// And the unmutated baseline passes.
+	w := &Workload{Name: "test", ThreadSweep: []int{1}, Phases: []Phase{base}}
+	if err := w.Validate(); err != nil {
+		t.Fatalf("baseline workload must validate: %v", err)
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if Synthetic.String() != "roco2" || !strings.Contains(SPEC.String(), "SPEC") {
+		t.Fatal("Class.String wrong")
+	}
+	if Class(99).String() == "" {
+		t.Fatal("unknown class must still render")
+	}
+}
+
+func TestDescriptionsPresent(t *testing.T) {
+	for _, w := range All() {
+		if w.Description == "" {
+			t.Fatalf("workload %s lacks a description", w.Name)
+		}
+	}
+}
+
+func TestPhaseWeightsPositiveSum(t *testing.T) {
+	for _, w := range All() {
+		var sum float64
+		for _, p := range w.Phases {
+			sum += p.Weight
+		}
+		if sum <= 0 {
+			t.Fatalf("workload %s has non-positive total phase weight", w.Name)
+		}
+	}
+}

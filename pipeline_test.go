@@ -1,0 +1,101 @@
+package pmcpower
+
+// End-to-end pipeline test: the complete workflow of the paper on a
+// reduced matrix — acquisition through trace archives, counter
+// selection, model training, prediction — exercised from the outside,
+// the way cmd/powermodel drives it.
+
+import (
+	"math"
+	"testing"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/workloads"
+)
+
+func TestEndToEndWorkflow(t *testing.T) {
+	// A reduced but structurally complete campaign: six workloads
+	// spanning compute/memory/mixed corners, two DVFS states, all 54
+	// counters (forcing multiplexed runs).
+	var wls []*workloads.Workload
+	for _, n := range []string{"compute", "sqrt", "memory_read", "matmul", "md", "swim", "addpd"} {
+		wls = append(wls, workloads.MustByName(n))
+	}
+	selDS, err := acquisition.Acquire(acquisition.Options{Seed: 123}, wls, []int{2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	steps, err := core.SelectEvents(selDS.Rows, core.SelectOptions{Count: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := core.Events(steps)
+
+	acqEvents := append(append([]pmu.EventID(nil), events...), pmu.MustByName("TOT_CYC").ID)
+	seen := map[pmu.EventID]bool{}
+	var dedup []pmu.EventID
+	for _, id := range acqEvents {
+		if !seen[id] {
+			seen[id] = true
+			dedup = append(dedup, id)
+		}
+	}
+	full, err := acquisition.Acquire(acquisition.Options{Seed: 123, Events: dedup}, wls, []int{1200, 2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	m, err := core.Train(full.Rows, events, core.TrainOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.R2() < 0.9 {
+		t.Fatalf("end-to-end fit R² = %.3f", m.R2())
+	}
+
+	// Predict an entirely fresh acquisition of a held-out workload.
+	test, err := acquisition.Acquire(acquisition.Options{Seed: 999, Events: dedup},
+		[]*workloads.Workload{workloads.MustByName("mulpd")}, []int{2400})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range test.Rows {
+		est := m.Predict(r)
+		ape := math.Abs(est-r.PowerW) / r.PowerW * 100
+		if ape > 30 {
+			t.Fatalf("held-out mulpd (%d threads): estimated %.1f W vs measured %.1f W (%.1f%%)",
+				r.Threads, est, r.PowerW, ape)
+		}
+	}
+}
+
+func TestEndToEndDeterminism(t *testing.T) {
+	// The whole pipeline — simulator, plugins, traces, post-processing,
+	// selection — must be bit-reproducible from the seed.
+	run := func() []pmu.EventID {
+		wls := []*workloads.Workload{
+			workloads.MustByName("compute"),
+			workloads.MustByName("memory_read"),
+			workloads.MustByName("md"),
+		}
+		ds, err := acquisition.Acquire(acquisition.Options{Seed: 7}, wls, []int{2000})
+		if err != nil {
+			t.Fatal(err)
+		}
+		steps, err := core.SelectEvents(ds.Rows, core.SelectOptions{Count: 3})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return core.Events(steps)
+	}
+	a := run()
+	b := run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("pipeline not deterministic: %v vs %v", pmu.ShortNames(a), pmu.ShortNames(b))
+		}
+	}
+}
