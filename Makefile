@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test bench report examples clean
+.PHONY: all build vet test race verify bench report examples clean
 
 all: build vet test
 
@@ -14,6 +14,15 @@ vet:
 
 test:
 	$(GO) test ./...
+
+# Race-detector run of the whole tree — the concurrent pipeline
+# (internal/parallel and its call sites) must stay race-free.
+race:
+	$(GO) test -race ./...
+
+# The full tier-1 gate for concurrent code: build, vet, tests, and
+# the race detector.
+verify: build vet test race
 
 # Timed regeneration of every paper artifact (E1–E17).
 bench:

@@ -438,3 +438,76 @@ func BenchmarkE17_CrossPlatform(b *testing.B) {
 		logOnce(b, i, ctx.RenderCrossPlatform)
 	}
 }
+
+// --- parallel execution engine: serial vs parallel speedup --------------
+//
+// The same campaign at Parallelism 1 (serial) and 0 (all cores). The
+// results are bit-identical by the determinism contract (see the
+// equivalence tests); on a >= 4-core runner the parallel variants
+// should report >= 2x less time per op. On a single-core runner the
+// pair degenerates to equal timings.
+
+func benchCampaign(b *testing.B, parallelism int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		ds, err := acquisition.Acquire(acquisition.Options{Seed: uint64(i + 1), Parallelism: parallelism},
+			workloads.Active(), []int{1200, 2400})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(ds.Rows) == 0 {
+			b.Fatal("empty dataset")
+		}
+	}
+}
+
+func BenchmarkCampaignSerial(b *testing.B)   { benchCampaign(b, 1) }
+func BenchmarkCampaignParallel(b *testing.B) { benchCampaign(b, 0) }
+
+func benchSelection(b *testing.B, parallelism int) {
+	b.Helper()
+	ctx := sharedCtx(b)
+	ds, err := ctx.SelectionDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steps, err := core.SelectEvents(ds.Rows, core.SelectOptions{Count: 6, Parallelism: parallelism})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(steps) != 6 {
+			b.Fatal("wrong step count")
+		}
+	}
+}
+
+func BenchmarkSelectionSerial(b *testing.B)   { benchSelection(b, 1) }
+func BenchmarkSelectionParallel(b *testing.B) { benchSelection(b, 0) }
+
+func benchCrossValidation(b *testing.B, parallelism int) {
+	b.Helper()
+	ctx := sharedCtx(b)
+	ds, err := ctx.FullDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := ctx.SelectedEvents()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		cv, err := core.CrossValidateP(ds.Rows, events, 10, 7, parallelism)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(cv.Folds) != 10 {
+			b.Fatal("wrong fold count")
+		}
+	}
+}
+
+func BenchmarkCrossValidationSerial(b *testing.B)   { benchCrossValidation(b, 1) }
+func BenchmarkCrossValidationParallel(b *testing.B) { benchCrossValidation(b, 0) }

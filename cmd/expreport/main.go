@@ -3,11 +3,16 @@
 //
 // Usage:
 //
-//	expreport [-exp id] [-seed n]
+//	expreport [-exp id] [-seed n] [-j n]
 //
 // With no -exp flag every experiment is printed in order. Valid ids:
 // table1, fig2, table2, fig3, fig4, fig5a, fig5b, table3, fig6,
-// table4, seventh, ablations, baselines.
+// table4, seventh, ablations, baselines, strategies, transform,
+// hetero, stability, crossplatform.
+//
+// -j bounds the worker parallelism of the modeling pipeline and of
+// the experiment fan-out (0 = all cores, 1 = serial). The output is
+// bit-identical at every setting.
 package main
 
 import (
@@ -22,56 +27,41 @@ import (
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, fig2, table2, fig3, fig4, fig5a, fig5b, table3, fig6, table4, seventh, ablations, baselines, strategies, transform, hetero, stability, crossplatform, all)")
 	seed := flag.Uint64("seed", 0, "override the acquisition seed (0 = canonical)")
+	par := flag.Int("j", 0, "worker parallelism (0 = all cores, 1 = serial)")
 	flag.Parse()
 
 	cfg := experiments.DefaultConfig()
 	if *seed != 0 {
 		cfg.Seed = *seed
 	}
+	cfg.Parallelism = *par
 	ctx := experiments.NewContext(cfg)
 
-	type renderer struct {
-		id   string
-		desc string
-		fn   func() (string, error)
-	}
-	all := []renderer{
-		{"table1", "E1: Table I — counter selection on all workloads", ctx.RenderTableI},
-		{"fig2", "E2: Figure 2 — R²/Adj.R² progression", ctx.RenderFig2},
-		{"table2", "E3: Table II — 10-fold cross validation", ctx.RenderTableII},
-		{"fig3", "E4: Figure 3 — per-workload MAPE", ctx.RenderFig3},
-		{"fig4", "E5: Figure 4 — training scenarios", ctx.RenderFig4},
-		{"fig5a", "E6: Figure 5a — actual vs estimated (scenario 2)", ctx.RenderFig5a},
-		{"fig5b", "E7: Figure 5b — actual vs estimated (scenario 3)", ctx.RenderFig5b},
-		{"table3", "E8: Table III — PCC of selected counters", ctx.RenderTableIII},
-		{"fig6", "E9: Figure 6 — PCC of all counters", ctx.RenderFig6},
-		{"table4", "E10: Table IV — selection on synthetic only", ctx.RenderTableIV},
-		{"seventh", "E11: extended selection / VIF explosion", func() (string, error) { return ctx.RenderSeventh(11) }},
-		{"ablations", "E12: design-choice ablations", ctx.RenderAblations},
-		{"baselines", "E13: baseline comparison", ctx.RenderBaselines},
-		{"strategies", "E14: selection-strategy comparison (future work)", ctx.RenderStrategies},
-		{"transform", "E15: stage-2 transformation search", ctx.RenderTransformations},
-		{"hetero", "Breusch–Pagan heteroscedasticity test", ctx.RenderHeteroscedasticity},
-		{"stability", "E16: bootstrap coefficient stability", ctx.RenderStability},
-		{"crossplatform", "E17: x86 vs embedded ARM accuracy", ctx.RenderCrossPlatform},
-	}
-
 	want := strings.ToLower(*exp)
-	found := false
-	for _, r := range all {
-		if want != "all" && want != r.id {
-			continue
-		}
-		found = true
-		out, err := r.fn()
+	if want == "all" {
+		rendered, err := ctx.RunAll(*par)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "expreport: %s: %v\n", r.id, err)
+			fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
 			os.Exit(1)
 		}
-		fmt.Printf("=== %s ===\n%s\n", r.desc, out)
+		for _, r := range rendered {
+			fmt.Printf("=== %s ===\n%s\n", r.Desc, r.Output)
+		}
+		return
 	}
-	if !found {
-		fmt.Fprintf(os.Stderr, "expreport: unknown experiment %q\n", *exp)
-		os.Exit(2)
+
+	for _, r := range ctx.Renderers() {
+		if want != r.ID {
+			continue
+		}
+		out, err := r.Render()
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "expreport: %s: %v\n", r.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("=== %s ===\n%s\n", r.Desc, out)
+		return
 	}
+	fmt.Fprintf(os.Stderr, "expreport: unknown experiment %q\n", *exp)
+	os.Exit(2)
 }

@@ -6,7 +6,11 @@
 //
 // Usage:
 //
-//	powermodel [-seed n] [-counters k] [-folds k] [-verbose]
+//	powermodel [-seed n] [-counters k] [-folds k] [-j n] [-verbose]
+//
+// -j bounds the worker parallelism of acquisition, selection and
+// cross validation (0 = all cores, 1 = serial); the results are
+// bit-identical at every setting.
 package main
 
 import (
@@ -25,16 +29,17 @@ func main() {
 	seed := flag.Uint64("seed", 42, "acquisition seed")
 	nCounters := flag.Int("counters", 6, "number of PMC events to select")
 	folds := flag.Int("folds", 10, "cross-validation folds")
+	par := flag.Int("j", 0, "worker parallelism (0 = all cores, 1 = serial)")
 	verbose := flag.Bool("verbose", false, "print per-fold and per-workload detail")
 	flag.Parse()
 
-	if err := run(*seed, *nCounters, *folds, *verbose); err != nil {
+	if err := run(*seed, *nCounters, *folds, *par, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "powermodel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, nCounters, folds int, verbose bool) error {
+func run(seed uint64, nCounters, folds, par int, verbose bool) error {
 	platform := cpusim.HaswellEP()
 	fmt.Printf("platform: %s (%d cores, P-states %v MHz)\n",
 		platform.Name, platform.TotalCores(), platform.Frequencies())
@@ -47,7 +52,7 @@ func run(seed uint64, nCounters, folds int, verbose bool) error {
 	// counters (multiplexed over multiple runs per workload).
 	const selFreq = 2400
 	fmt.Printf("\n[1/4] acquiring all %d counters at %d MHz...\n", pmu.NumEvents(), selFreq)
-	selDS, err := acquisition.Acquire(acquisition.Options{Seed: seed}, active, []int{selFreq})
+	selDS, err := acquisition.Acquire(acquisition.Options{Seed: seed, Parallelism: par}, active, []int{selFreq})
 	if err != nil {
 		return err
 	}
@@ -59,7 +64,7 @@ func run(seed uint64, nCounters, folds int, verbose bool) error {
 
 	// Step 2: Algorithm 1.
 	fmt.Printf("\n[2/4] selecting %d PMC events (Algorithm 1)...\n", nCounters)
-	steps, err := core.SelectEvents(selDS.Rows, core.SelectOptions{Count: nCounters})
+	steps, err := core.SelectEvents(selDS.Rows, core.SelectOptions{Count: nCounters, Parallelism: par})
 	if err != nil {
 		return err
 	}
@@ -89,7 +94,7 @@ func run(seed uint64, nCounters, folds int, verbose bool) error {
 	if !haveCyc {
 		evAcq = append(append([]pmu.EventID(nil), events...), cyc)
 	}
-	fullDS, err := acquisition.Acquire(acquisition.Options{Seed: seed, Events: evAcq}, active, freqs)
+	fullDS, err := acquisition.Acquire(acquisition.Options{Seed: seed, Events: evAcq, Parallelism: par}, active, freqs)
 	if err != nil {
 		return err
 	}
@@ -117,7 +122,7 @@ func run(seed uint64, nCounters, folds int, verbose bool) error {
 		}
 	}
 
-	cv, err := core.CrossValidate(fullDS.Rows, events, folds, seed+7)
+	cv, err := core.CrossValidateP(fullDS.Rows, events, folds, seed+7, par)
 	if err != nil {
 		return err
 	}

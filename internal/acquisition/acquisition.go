@@ -16,12 +16,14 @@ package acquisition
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 	"sort"
 
 	"pmcpower/internal/cpusim"
 	"pmcpower/internal/metricplugin"
+	"pmcpower/internal/parallel"
 	"pmcpower/internal/phaseprofile"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/power"
@@ -57,6 +59,13 @@ type Options struct {
 	// Off by default: the canonical experiments use the conservative
 	// per-preset plan.
 	SharedPlanner bool
+	// Parallelism bounds the workers running the independent
+	// (workload, frequency) campaign cells: 0 = GOMAXPROCS,
+	// 1 = serial. Every cell's noise streams are derived from stable
+	// (workload, frequency, run) labels, and rows and trace archives
+	// are reduced in cell order, so the dataset is bit-identical at
+	// every parallelism level.
+	Parallelism int
 }
 
 func (o *Options) withDefaults() Options {
@@ -152,7 +161,15 @@ func Acquire(opts Options, wls []*workloads.Workload, freqsMHz []int) (*Dataset,
 		sensors[si] = power.NewSensor(base.Split(rng.HashString(fmt.Sprintf("sensor-calibration-%d", si))))
 	}
 
-	ds := &Dataset{Platform: o.Platform}
+	// One campaign cell per (workload, frequency) pair — the paper's
+	// embarrassingly parallel outer loop. P-states are validated up
+	// front so an invalid frequency fails before any work is spawned,
+	// exactly as the serial loop's first iteration would.
+	type cell struct {
+		w *workloads.Workload
+		f int
+	}
+	var cells []cell
 	for _, w := range wls {
 		if w.Excluded {
 			continue
@@ -161,29 +178,65 @@ func Acquire(opts Options, wls []*workloads.Workload, freqsMHz []int) (*Dataset,
 			if _, err := o.Platform.PStateFor(f); err != nil {
 				return nil, err
 			}
-			runProfiles := make([][]*phaseprofile.Phase, 0, len(plan))
-			for runIdx, set := range plan {
-				seed := base.Split(rng.HashString(fmt.Sprintf("%s|%d|run%d", w.Name, f, runIdx)))
-				var buf bytes.Buffer
-				if err := recordRun(&o, exec, sensors, w, f, set, seed, &buf); err != nil {
-					return nil, fmt.Errorf("acquisition: %s @ %d MHz run %d: %w", w.Name, f, runIdx, err)
-				}
-				if o.TraceSink != nil {
-					o.TraceSink(fmt.Sprintf("%s_%dMHz_run%d.trc", w.Name, f, runIdx), buf.Bytes())
-				}
-				phases, err := phaseprofile.FromTrace(&buf, w.Name)
-				if err != nil {
-					return nil, fmt.Errorf("acquisition: post-processing %s @ %d MHz run %d: %w", w.Name, f, runIdx, err)
-				}
-				runProfiles = append(runProfiles, phases)
-			}
-			merged := phaseprofile.CombineRuns(runProfiles...)
-			rows, err := rowsFromPhases(w, f, merged)
-			if err != nil {
-				return nil, err
-			}
-			ds.Rows = append(ds.Rows, rows...)
+			cells = append(cells, cell{w: w, f: f})
 		}
+	}
+
+	type namedTrace struct {
+		name string
+		data []byte
+	}
+	type cellResult struct {
+		rows   []*Row
+		traces []namedTrace
+	}
+	// Every stochastic input of a cell comes from rng streams split
+	// off the campaign seed by a stable (workload, frequency, run)
+	// label, so a cell's output is independent of which worker runs it
+	// and of how many cells run concurrently.
+	results, err := parallel.Map(context.Background(), len(cells), o.Parallelism, func(ci int) (cellResult, error) {
+		w, f := cells[ci].w, cells[ci].f
+		var res cellResult
+		runProfiles := make([][]*phaseprofile.Phase, 0, len(plan))
+		for runIdx, set := range plan {
+			seed := base.Split(rng.HashString(fmt.Sprintf("%s|%d|run%d", w.Name, f, runIdx)))
+			var buf bytes.Buffer
+			if err := recordRun(&o, exec, sensors, w, f, set, seed, &buf); err != nil {
+				return cellResult{}, fmt.Errorf("acquisition: %s @ %d MHz run %d: %w", w.Name, f, runIdx, err)
+			}
+			if o.TraceSink != nil {
+				res.traces = append(res.traces, namedTrace{
+					name: fmt.Sprintf("%s_%dMHz_run%d.trc", w.Name, f, runIdx),
+					data: append([]byte(nil), buf.Bytes()...),
+				})
+			}
+			phases, err := phaseprofile.FromTrace(&buf, w.Name)
+			if err != nil {
+				return cellResult{}, fmt.Errorf("acquisition: post-processing %s @ %d MHz run %d: %w", w.Name, f, runIdx, err)
+			}
+			runProfiles = append(runProfiles, phases)
+		}
+		merged := phaseprofile.CombineRuns(runProfiles...)
+		rows, err := rowsFromPhases(w, f, merged)
+		if err != nil {
+			return cellResult{}, err
+		}
+		res.rows = rows
+		return res, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	ds := &Dataset{Platform: o.Platform}
+	// Reduce in cell order: the sink sees archives in the exact
+	// sequence the serial campaign would have produced them, and row
+	// collection order never depends on scheduling.
+	for _, res := range results {
+		for _, tr := range res.traces {
+			o.TraceSink(tr.name, tr.data)
+		}
+		ds.Rows = append(ds.Rows, res.rows...)
 	}
 	sortRows(ds.Rows)
 	return ds, nil

@@ -262,3 +262,85 @@ func TestSPECPhasesAggregateByDuration(t *testing.T) {
 		t.Fatal("no trace archives captured")
 	}
 }
+
+func TestAcquireParallelEquivalence(t *testing.T) {
+	// The determinism contract: per-run seeds are derived from the
+	// campaign seed by order-insensitive splitting and the rows are
+	// collected in cell order, so any Parallelism setting must yield
+	// a bit-identical dataset.
+	wls := []*workloads.Workload{
+		workloads.MustByName("compute"),
+		workloads.MustByName("md"),
+		workloads.MustByName("sqrt"),
+	}
+	freqs := []int{1200, 2400}
+	serial, err := Acquire(Options{Seed: 11, Events: smallEvents(), Parallelism: 1}, wls, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Acquire(Options{Seed: 11, Events: smallEvents(), Parallelism: 4}, wls, freqs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(serial.Rows) != len(par.Rows) {
+		t.Fatalf("row counts differ: %d vs %d", len(serial.Rows), len(par.Rows))
+	}
+	for i := range serial.Rows {
+		s, p := serial.Rows[i], par.Rows[i]
+		if s.Workload != p.Workload || s.Class != p.Class || s.FreqMHz != p.FreqMHz || s.Threads != p.Threads {
+			t.Fatalf("row %d identity differs: %+v vs %+v", i, s, p)
+		}
+		if s.PowerW != p.PowerW || s.VoltageV != p.VoltageV {
+			t.Fatalf("row %d measurements differ: %v/%v W, %v/%v V", i, s.PowerW, p.PowerW, s.VoltageV, p.VoltageV)
+		}
+		if len(s.Rates) != len(p.Rates) {
+			t.Fatalf("row %d rate counts differ", i)
+		}
+		for id, v := range s.Rates {
+			if p.Rates[id] != v {
+				t.Fatalf("row %d rate %v differs: %v vs %v", i, id, v, p.Rates[id])
+			}
+		}
+	}
+}
+
+func TestAcquireParallelTraceSinkOrder(t *testing.T) {
+	// Trace archives must arrive on the sink in the same deterministic
+	// order regardless of parallelism: workers hand their archives to
+	// the cell-ordered reduction instead of calling the sink directly.
+	collect := func(parallelism int) (names []string, sizes []int) {
+		opts := Options{
+			Seed:        3,
+			Events:      smallEvents(),
+			Parallelism: parallelism,
+			TraceSink: func(name string, data []byte) {
+				names = append(names, name)
+				sizes = append(sizes, len(data))
+			},
+		}
+		wls := []*workloads.Workload{
+			workloads.MustByName("sqrt"),
+			workloads.MustByName("md"),
+		}
+		if _, err := Acquire(opts, wls, []int{1200, 2400}); err != nil {
+			t.Fatal(err)
+		}
+		return names, sizes
+	}
+	sn, ss := collect(1)
+	pn, ps := collect(4)
+	if len(sn) == 0 {
+		t.Fatal("trace sink received nothing")
+	}
+	if len(sn) != len(pn) {
+		t.Fatalf("archive counts differ: %d vs %d", len(sn), len(pn))
+	}
+	for i := range sn {
+		if sn[i] != pn[i] {
+			t.Fatalf("archive %d name differs: %q vs %q", i, sn[i], pn[i])
+		}
+		if ss[i] != ps[i] {
+			t.Fatalf("archive %d (%s) size differs: %d vs %d", i, sn[i], ss[i], ps[i])
+		}
+	}
+}

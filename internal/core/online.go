@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"pmcpower/internal/acquisition"
 	"pmcpower/internal/pmu"
@@ -62,18 +63,25 @@ type Estimate struct {
 }
 
 // Push consumes one sample and returns the updated estimate. Samples
-// must arrive in non-decreasing time order and carry every model
-// event.
+// must arrive in non-decreasing time order, carry every model event,
+// and be finite: a NaN/Inf/negative counter rate or a non-finite
+// voltage is rejected with an error before it can contaminate the
+// EWMA state (and, through it, every later estimate and the energy
+// integral).
 func (e *OnlineEstimator) Push(s CounterSample) (Estimate, error) {
 	if e.primed && s.TimeNs < e.lastNs {
 		return Estimate{}, fmt.Errorf("core: sample at %d ns out of order (last %d ns)", s.TimeNs, e.lastNs)
 	}
-	if s.FreqMHz <= 0 || s.VoltageV <= 0 {
-		return Estimate{}, fmt.Errorf("core: sample lacks a valid operating point")
+	if s.FreqMHz <= 0 || !(s.VoltageV > 0) || math.IsInf(s.VoltageV, 0) {
+		return Estimate{}, fmt.Errorf("core: sample lacks a valid operating point (freq %d MHz, voltage %v V)", s.FreqMHz, s.VoltageV)
 	}
 	for _, id := range e.model.Events {
-		if _, ok := s.Rates[id]; !ok {
+		r, ok := s.Rates[id]
+		if !ok {
 			return Estimate{}, fmt.Errorf("core: sample missing model event %s", pmu.Lookup(id).Name)
+		}
+		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
+			return Estimate{}, fmt.Errorf("core: sample has invalid rate %v for event %s", r, pmu.Lookup(id).Name)
 		}
 	}
 	row := &acquisition.Row{

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/parallel"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/stats"
 )
@@ -40,6 +42,11 @@ type SelectOptions struct {
 	// the accuracy of the resulting model significantly"); the flag
 	// exists for the ablation experiment.
 	InitWithCycles bool
+	// Parallelism bounds the workers evaluating the independent
+	// candidate fits of each round (and the VIF auxiliary
+	// regressions): 0 = GOMAXPROCS, 1 = serial. The selection result
+	// is bit-identical at every level.
+	Parallelism int
 }
 
 // SelectEvents runs Algorithm 1 over the dataset rows: greedy forward
@@ -70,7 +77,7 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 		inSelected[id] = true
 		step := SelectionStep{Event: id, R2: r2, AdjR2: adjR2, MeanVIF: math.NaN()}
 		if len(selected) >= 2 {
-			vifs, err := stats.VIF(RateMatrix(rows, selected))
+			vifs, err := stats.VIFP(RateMatrix(rows, selected), opts.Parallelism)
 			if err != nil {
 				// A perfectly collinear addition: report +Inf rather
 				// than failing — the paper's workflow needs to *see*
@@ -98,13 +105,19 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 		}
 	}
 
+	// Each round fans the candidate fits out over the worker pool (the
+	// paper's 54 independent OLS fits per round); the winner is then
+	// reduced serially in candidate order with a strict > comparison,
+	// which reproduces the serial loop's tie-breaking exactly.
+	type candFit struct {
+		r2, adjR2 float64
+		ok        bool
+	}
 	for len(selected) < opts.Count {
-		bestR2 := math.Inf(-1)
-		bestAdj := 0.0
-		var bestEvent pmu.EventID = -1
-		for _, cand := range candidates {
+		fits, err := parallel.Map(context.Background(), len(candidates), opts.Parallelism, func(ci int) (candFit, error) {
+			cand := candidates[ci]
 			if inSelected[cand] {
-				continue
+				return candFit{}, nil
 			}
 			trial := append(append([]pmu.EventID(nil), selected...), cand)
 			m, err := Train(rows, trial, TrainOptions{})
@@ -113,12 +126,24 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 				// counter that is an exact linear combination of the
 				// selected ones) — skip it, exactly as a statsmodels
 				// workflow would discard a failed fit.
+				return candFit{}, nil
+			}
+			return candFit{r2: m.R2(), adjR2: m.AdjR2(), ok: true}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		bestR2 := math.Inf(-1)
+		bestAdj := 0.0
+		var bestEvent pmu.EventID = -1
+		for ci, f := range fits {
+			if !f.ok {
 				continue
 			}
-			if m.R2() > bestR2 {
-				bestR2 = m.R2()
-				bestAdj = m.AdjR2()
-				bestEvent = cand
+			if f.r2 > bestR2 {
+				bestR2 = f.r2
+				bestAdj = f.adjR2
+				bestEvent = candidates[ci]
 			}
 		}
 		if bestEvent < 0 {

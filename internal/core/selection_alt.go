@@ -1,11 +1,13 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/parallel"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/stats"
 )
@@ -62,9 +64,31 @@ func AllStrategies() []Strategy {
 	return []Strategy{StrategyGreedyR2, StrategyBackward, StrategyPCC, StrategyAIC, StrategyLasso}
 }
 
+// StrategyOptions configures SelectWithStrategyOpts.
+type StrategyOptions struct {
+	// Count is the size of the selected set.
+	Count int
+	// Candidates restricts the candidate pool; defaults to all presets.
+	Candidates []pmu.EventID
+	// Parallelism bounds the workers used for the independent
+	// candidate fits of the greedy strategies (0 = GOMAXPROCS,
+	// 1 = serial). Results are bit-identical at every level; the
+	// inherently sequential strategies (backward elimination, LASSO
+	// coordinate descent) ignore it.
+	Parallelism int
+}
+
 // SelectWithStrategy selects count events from the candidates (default
-// all presets) using the given strategy.
+// all presets) using the given strategy, fitting candidates on all
+// available cores.
 func SelectWithStrategy(rows []*acquisition.Row, strategy Strategy, count int, candidates []pmu.EventID) ([]pmu.EventID, error) {
+	return SelectWithStrategyOpts(rows, strategy, StrategyOptions{Count: count, Candidates: candidates})
+}
+
+// SelectWithStrategyOpts selects opts.Count events using the given
+// strategy.
+func SelectWithStrategyOpts(rows []*acquisition.Row, strategy Strategy, opts StrategyOptions) ([]pmu.EventID, error) {
+	count, candidates := opts.Count, opts.Candidates
 	if count < 1 {
 		return nil, fmt.Errorf("core: need count >= 1, got %d", count)
 	}
@@ -79,7 +103,7 @@ func SelectWithStrategy(rows []*acquisition.Row, strategy Strategy, count int, c
 	}
 	switch strategy {
 	case StrategyGreedyR2:
-		steps, err := SelectEvents(rows, SelectOptions{Count: count, Candidates: candidates})
+		steps, err := SelectEvents(rows, SelectOptions{Count: count, Candidates: candidates, Parallelism: opts.Parallelism})
 		if err != nil {
 			return nil, err
 		}
@@ -89,7 +113,7 @@ func SelectWithStrategy(rows []*acquisition.Row, strategy Strategy, count int, c
 	case StrategyPCC:
 		return pccRank(rows, count, candidates), nil
 	case StrategyAIC:
-		return aicForward(rows, count, candidates)
+		return aicForward(rows, count, candidates, opts.Parallelism)
 	case StrategyLasso:
 		return lassoPath(rows, count, candidates)
 	default:
@@ -177,7 +201,7 @@ func pccRank(rows []*acquisition.Row, count int, candidates []pmu.EventID) []pmu
 	return out
 }
 
-func aicForward(rows []*acquisition.Row, count int, candidates []pmu.EventID) ([]pmu.EventID, error) {
+func aicForward(rows []*acquisition.Row, count int, candidates []pmu.EventID, parallelism int) ([]pmu.EventID, error) {
 	n := float64(len(rows))
 	aicOf := func(events []pmu.EventID) (float64, error) {
 		m, err := Train(rows, events, TrainOptions{})
@@ -193,19 +217,33 @@ func aicForward(rows []*acquisition.Row, count int, candidates []pmu.EventID) ([
 	}
 	var selected []pmu.EventID
 	in := map[pmu.EventID]bool{}
+	type candFit struct {
+		aic float64
+		ok  bool
+	}
 	for len(selected) < count {
-		best, bestAIC := pmu.EventID(-1), math.Inf(1)
-		for _, cand := range candidates {
+		// The per-round candidate fits are independent; evaluate them
+		// on the worker pool and reduce in candidate order (strict <
+		// keeps the first minimum, matching the serial loop).
+		fits, err := parallel.Map(context.Background(), len(candidates), parallelism, func(ci int) (candFit, error) {
+			cand := candidates[ci]
 			if in[cand] {
-				continue
+				return candFit{}, nil
 			}
 			trial := append(append([]pmu.EventID(nil), selected...), cand)
 			aic, err := aicOf(trial)
 			if err != nil {
-				continue
+				return candFit{}, nil
 			}
-			if aic < bestAIC {
-				best, bestAIC = cand, aic
+			return candFit{aic: aic, ok: true}, nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		best, bestAIC := pmu.EventID(-1), math.Inf(1)
+		for ci, f := range fits {
+			if f.ok && f.aic < bestAIC {
+				best, bestAIC = candidates[ci], f.aic
 			}
 		}
 		if best < 0 {
@@ -369,11 +407,22 @@ type StrategyComparison struct {
 }
 
 // CompareStrategies runs every strategy on the selection rows and
-// evaluates the resulting sets on the evaluation rows.
+// evaluates the resulting sets on the evaluation rows, using all
+// available cores for each strategy's candidate fits.
 func CompareStrategies(selRows, evalRows []*acquisition.Row, count int, cvSeed uint64) ([]StrategyComparison, error) {
+	return CompareStrategiesP(selRows, evalRows, count, cvSeed, 0)
+}
+
+// CompareStrategiesP is CompareStrategies with an explicit parallelism
+// level (0 = GOMAXPROCS, 1 = serial), threaded into each strategy's
+// candidate evaluation, the VIF computation and the cross-validation.
+// The strategies themselves run sequentially: the greedy ones already
+// saturate the pool, and running them in order keeps the comparison's
+// memory footprint flat.
+func CompareStrategiesP(selRows, evalRows []*acquisition.Row, count int, cvSeed uint64, parallelism int) ([]StrategyComparison, error) {
 	var out []StrategyComparison
 	for _, s := range AllStrategies() {
-		events, err := SelectWithStrategy(selRows, s, count, nil)
+		events, err := SelectWithStrategyOpts(selRows, s, StrategyOptions{Count: count, Parallelism: parallelism})
 		if err != nil {
 			return nil, fmt.Errorf("core: strategy %v: %w", s, err)
 		}
@@ -384,14 +433,14 @@ func CompareStrategies(selRows, evalRows []*acquisition.Row, count int, cvSeed u
 			return nil, fmt.Errorf("core: strategy %v refit: %w", s, err)
 		}
 		cmp.R2 = m.R2()
-		vif, err := stats.MeanVIF(RateMatrix(selRows, events))
+		vif, err := stats.MeanVIFP(RateMatrix(selRows, events), parallelism)
 		if err == nil {
 			cmp.MeanVIF = vif
 		} else {
 			cmp.MeanVIF = math.Inf(1)
 		}
 
-		cv, err := CrossValidate(evalRows, events, 10, cvSeed)
+		cv, err := CrossValidateP(evalRows, events, 10, cvSeed, parallelism)
 		if err != nil {
 			return nil, fmt.Errorf("core: strategy %v CV: %w", s, err)
 		}

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/parallel"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/rng"
 	"pmcpower/internal/stats"
@@ -101,28 +103,55 @@ func (c *CVResult) PerWorkloadMAPE() map[string]float64 {
 // CrossValidate performs k-fold cross validation of the Equation-1
 // model with the given events over the rows, shuffling with the
 // supplied seed ("10-fold cross validation with random indexing").
+// The folds are fitted on all available cores; use CrossValidateP to
+// control the worker count.
 func CrossValidate(rows []*acquisition.Row, events []pmu.EventID, k int, seed uint64) (*CVResult, error) {
+	return CrossValidateP(rows, events, k, seed, 0)
+}
+
+// CrossValidateP is CrossValidate with an explicit parallelism level
+// (0 = GOMAXPROCS, 1 = serial). The k fold fits are independent given
+// the precomputed index shuffle; per-fold results and out-of-fold
+// predictions are reduced in fold order, so the result is bit-identical
+// at every parallelism level.
+func CrossValidateP(rows []*acquisition.Row, events []pmu.EventID, k int, seed uint64, parallelism int) (*CVResult, error) {
 	if len(rows) < k {
 		return nil, fmt.Errorf("core: %d rows cannot form %d folds", len(rows), k)
 	}
-	folds := stats.KFold(len(rows), k, rng.New(seed))
-	res := &CVResult{}
-	for fi, fold := range folds {
+	folds, err := stats.KFold(len(rows), k, rng.New(seed))
+	if err != nil {
+		return nil, fmt.Errorf("core: cross validation: %w", err)
+	}
+	type foldResult struct {
+		cf    CVFold
+		preds []Prediction
+	}
+	results, err := parallel.Map(context.Background(), len(folds), parallelism, func(fi int) (foldResult, error) {
+		fold := folds[fi]
 		train := subset(rows, fold.Train)
 		test := subset(rows, fold.Test)
 		m, err := Train(train, events, TrainOptions{})
 		if err != nil {
-			return nil, fmt.Errorf("core: fold %d: %w", fi, err)
+			return foldResult{}, fmt.Errorf("core: fold %d: %w", fi, err)
 		}
-		cf := CVFold{TrainR2: m.R2(), TrainAdjR2: m.AdjR2()}
+		fr := foldResult{cf: CVFold{TrainR2: m.R2(), TrainAdjR2: m.AdjR2()}}
 		actual := make([]float64, len(test))
 		pred := m.PredictAll(test)
+		fr.preds = make([]Prediction, len(test))
 		for i, r := range test {
 			actual[i] = r.PowerW
-			res.Predictions = append(res.Predictions, Prediction{Row: r, Actual: r.PowerW, Predicted: pred[i]})
+			fr.preds[i] = Prediction{Row: r, Actual: r.PowerW, Predicted: pred[i]}
 		}
-		cf.TestMAPE = stats.MAPE(actual, pred)
-		res.Folds = append(res.Folds, cf)
+		fr.cf.TestMAPE = stats.MAPE(actual, pred)
+		return fr, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &CVResult{}
+	for _, fr := range results {
+		res.Folds = append(res.Folds, fr.cf)
+		res.Predictions = append(res.Predictions, fr.preds...)
 	}
 	return res, nil
 }

@@ -63,14 +63,15 @@ func (c *Context) CrossPlatform() (*CrossPlatformReport, error) {
 	selFreq := freqs[len(freqs)-2] // penultimate frequency, like 2400 on x86
 
 	armSelDS, err := acquisition.Acquire(acquisition.Options{
-		Platform: platform,
-		Model:    model,
-		Seed:     c.cfg.Seed,
+		Platform:    platform,
+		Model:       model,
+		Seed:        c.cfg.Seed,
+		Parallelism: c.cfg.Parallelism,
 	}, workloads.Active(), []int{selFreq})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ARM selection acquisition: %w", err)
 	}
-	steps, err := core.SelectEvents(armSelDS.Rows, core.SelectOptions{Count: c.cfg.NumEvents})
+	steps, err := core.SelectEvents(armSelDS.Rows, core.SelectOptions{Count: c.cfg.NumEvents, Parallelism: c.cfg.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ARM selection: %w", err)
 	}
@@ -89,15 +90,16 @@ func (c *Context) CrossPlatform() (*CrossPlatformReport, error) {
 		acqEvents = append(append([]pmu.EventID(nil), armEvents...), cyc)
 	}
 	armFull, err := acquisition.Acquire(acquisition.Options{
-		Platform: platform,
-		Model:    model,
-		Seed:     c.cfg.Seed,
-		Events:   acqEvents,
+		Platform:    platform,
+		Model:       model,
+		Seed:        c.cfg.Seed,
+		Events:      acqEvents,
+		Parallelism: c.cfg.Parallelism,
 	}, workloads.Active(), freqs)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ARM full acquisition: %w", err)
 	}
-	armCV, err := core.CrossValidate(armFull.Rows, armEvents, c.cfg.CVFolds, c.cfg.CVSeed)
+	armCV, err := core.CrossValidateP(armFull.Rows, armEvents, c.cfg.CVFolds, c.cfg.CVSeed, c.cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: ARM cross validation: %w", err)
 	}

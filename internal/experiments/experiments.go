@@ -58,6 +58,12 @@ type Config struct {
 	CVSeed  uint64
 	// Scenario1Seed fixes the random four-workload draw of scenario 1.
 	Scenario1Seed uint64
+	// Parallelism bounds the workers used inside each experiment
+	// (acquisition cells, candidate fits, VIF auxiliary regressions,
+	// CV folds) and by the RunAll experiment fan-out: 0 = GOMAXPROCS,
+	// 1 = serial. Every experiment's numbers are bit-identical at
+	// every level — enforced by the equivalence tests.
+	Parallelism int
 }
 
 // DefaultConfig returns the canonical parameters used by all tables,
@@ -103,7 +109,7 @@ func (c *Context) SelectionDataset() (*acquisition.Dataset, error) {
 	if c.selectionDS != nil {
 		return c.selectionDS, nil
 	}
-	ds, err := acquisition.Acquire(acquisition.Options{Seed: c.cfg.Seed},
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: c.cfg.Seed, Parallelism: c.cfg.Parallelism},
 		workloads.Active(), []int{c.cfg.SelectionFreqMHz})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: selection acquisition: %w", err)
@@ -123,7 +129,7 @@ func (c *Context) SelectionSteps() ([]core.SelectionStep, error) {
 	if c.steps != nil {
 		return c.steps, nil
 	}
-	steps, err := core.SelectEvents(ds.Rows, core.SelectOptions{Count: c.cfg.NumEvents})
+	steps, err := core.SelectEvents(ds.Rows, core.SelectOptions{Count: c.cfg.NumEvents, Parallelism: c.cfg.Parallelism})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: counter selection: %w", err)
 	}
@@ -176,7 +182,7 @@ func (c *Context) FullDataset() (*acquisition.Dataset, error) {
 	if c.fullDS != nil {
 		return c.fullDS, nil
 	}
-	ds, err := acquisition.Acquire(acquisition.Options{Seed: c.cfg.Seed, Events: events},
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: c.cfg.Seed, Events: events, Parallelism: c.cfg.Parallelism},
 		workloads.Active(), c.cfg.FreqsMHz)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: full acquisition: %w", err)
@@ -201,7 +207,7 @@ func (c *Context) CrossValidation() (*core.CVResult, error) {
 	if c.cv != nil {
 		return c.cv, nil
 	}
-	cv, err := core.CrossValidate(ds.Rows, sel, c.cfg.CVFolds, c.cfg.CVSeed)
+	cv, err := core.CrossValidateP(ds.Rows, sel, c.cfg.CVFolds, c.cfg.CVSeed, c.cfg.Parallelism)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: cross validation: %w", err)
 	}
@@ -253,7 +259,7 @@ func (c *Context) TableIV() ([]SelectionRow, error) {
 		return nil, err
 	}
 	syn := ds.ByClass(workloads.Synthetic)
-	steps, err := core.SelectEvents(syn.Rows, core.SelectOptions{Count: c.cfg.NumEvents})
+	steps, err := core.SelectEvents(syn.Rows, core.SelectOptions{Count: c.cfg.NumEvents, Parallelism: c.cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}

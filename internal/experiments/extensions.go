@@ -29,7 +29,7 @@ func (c *Context) ExtendedSelection(count int) (*VIFExtension, error) {
 	if err != nil {
 		return nil, err
 	}
-	steps, err := core.SelectEvents(ds.Rows, core.SelectOptions{Count: count})
+	steps, err := core.SelectEvents(ds.Rows, core.SelectOptions{Count: count, Parallelism: c.cfg.Parallelism})
 	if err != nil {
 		return nil, err
 	}
@@ -73,11 +73,11 @@ func (c *Context) AblationRateNormalization() (*AblationResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	perCycle, err := stats.MeanVIF(core.RateMatrix(ds.Rows, sel))
+	perCycle, err := stats.MeanVIFP(core.RateMatrix(ds.Rows, sel), c.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
-	perSecond, err := stats.MeanVIF(core.RateMatrixPerSecond(ds.Rows, sel))
+	perSecond, err := stats.MeanVIFP(core.RateMatrixPerSecond(ds.Rows, sel), c.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}
@@ -144,6 +144,7 @@ func (c *Context) AblationCycleInit() (*AblationResult, error) {
 	seeded, err := core.SelectEvents(ds.Rows, core.SelectOptions{
 		Count:          c.cfg.NumEvents,
 		InitWithCycles: true,
+		Parallelism:    c.cfg.Parallelism,
 	})
 	if err != nil {
 		return nil, err

@@ -27,7 +27,7 @@ func (c *Context) FullAllCounterDataset() (*acquisition.Dataset, error) {
 	if c.fullAllDS != nil {
 		return c.fullAllDS, nil
 	}
-	ds, err := acquisition.Acquire(acquisition.Options{Seed: c.cfg.Seed},
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: c.cfg.Seed, Parallelism: c.cfg.Parallelism},
 		workloads.Active(), c.cfg.FreqsMHz)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: all-counter acquisition: %w", err)
@@ -62,7 +62,7 @@ func (c *Context) StrategyComparison() ([]StrategyRow, error) {
 	if err != nil {
 		return nil, err
 	}
-	cmps, err := core.CompareStrategies(sel.Rows, full.Rows, c.cfg.NumEvents, c.cfg.CVSeed)
+	cmps, err := core.CompareStrategiesP(sel.Rows, full.Rows, c.cfg.NumEvents, c.cfg.CVSeed, c.cfg.Parallelism)
 	if err != nil {
 		return nil, err
 	}

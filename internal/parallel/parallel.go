@@ -1,0 +1,136 @@
+// Package parallel provides the bounded, deterministic fan-out
+// primitive used by every hot path of the modeling pipeline:
+// acquisition campaigns, candidate evaluation during counter
+// selection, VIF auxiliary regressions, cross-validation folds, and
+// the experiment suite.
+//
+// The determinism contract is strict: for a fixed input, Map and
+// ForEach produce results that are bit-identical to a serial loop
+// over [0, n), regardless of the parallelism level or goroutine
+// scheduling. Two rules make this hold:
+//
+//  1. Results are collected into a slice indexed by task number, so
+//     the reduction order never depends on completion order.
+//  2. Tasks must not share mutable state; any randomness must come
+//     from a per-task stream derived by index or stable label (see
+//     rng.Stream and rng.Rand.Split), never from a generator shared
+//     across tasks.
+//
+// Error handling is fail-fast: the first failure cancels the shared
+// context so in-flight tasks can bail out, and the error reported is
+// the one with the lowest task index among the tasks that ran — the
+// same error a serial loop would have surfaced whenever the failing
+// task is deterministic.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Workers resolves a Parallelism knob to a concrete worker count:
+// p <= 0 means GOMAXPROCS (the conventional "use the machine"
+// setting), any positive value is taken literally. Callers clamp to
+// the task count themselves where it matters; Map and ForEach do it
+// internally.
+func Workers(p int) int {
+	if p <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return p
+}
+
+// Map runs fn(i) for every i in [0, n) on at most Workers(parallelism)
+// goroutines and returns the results in index order. With
+// parallelism == 1 it degenerates to a plain serial loop (no
+// goroutines, immediate return on first error), which is the
+// reference behavior the parallel path must reproduce bit-for-bit.
+//
+// A non-nil context error (cancellation, deadline) stops the sweep;
+// tasks observe it between dispatches, and fn may also watch
+// ctx.Done() itself for long-running bodies.
+func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, ctx.Err()
+	}
+	workers := Workers(parallelism)
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			v, err := fn(i)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = v
+		}
+		return out, nil
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var (
+		next int64 = -1
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		errs = make(map[int]error)
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				if cctx.Err() != nil {
+					return
+				}
+				v, err := fn(i)
+				if err != nil {
+					mu.Lock()
+					errs[i] = err
+					mu.Unlock()
+					cancel()
+					return
+				}
+				out[i] = v
+			}
+		}()
+	}
+	wg.Wait()
+
+	if len(errs) > 0 {
+		first, firstErr := n, error(nil)
+		for i, err := range errs {
+			if i < first {
+				first, firstErr = i, err
+			}
+		}
+		return nil, firstErr
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach is Map without a result value: it runs fn(i) for every i in
+// [0, n) under the same bounded-worker, fail-fast, deterministic-error
+// rules.
+func ForEach(ctx context.Context, n, parallelism int, fn func(i int) error) error {
+	_, err := Map(ctx, n, parallelism, func(i int) (struct{}, error) {
+		return struct{}{}, fn(i)
+	})
+	return err
+}

@@ -1,0 +1,162 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestWorkers(t *testing.T) {
+	if got := Workers(0); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(0) = %d, want GOMAXPROCS = %d", got, runtime.GOMAXPROCS(0))
+	}
+	if got := Workers(-3); got != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Workers(-3) = %d, want GOMAXPROCS", got)
+	}
+	if got := Workers(7); got != 7 {
+		t.Fatalf("Workers(7) = %d", got)
+	}
+}
+
+func TestMapIndexOrder(t *testing.T) {
+	const n = 100
+	for _, p := range []int{1, 2, 4, 16} {
+		got, err := Map(context.Background(), n, p, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		if len(got) != n {
+			t.Fatalf("p=%d: len = %d", p, len(got))
+		}
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("p=%d: out[%d] = %d, want %d", p, i, v, i*i)
+			}
+		}
+	}
+}
+
+func TestMapEmptyRange(t *testing.T) {
+	got, err := Map(context.Background(), 0, 4, func(i int) (int, error) {
+		t.Fatal("fn must not be called for n=0")
+		return 0, nil
+	})
+	if err != nil || got != nil {
+		t.Fatalf("Map over empty range: got %v, %v", got, err)
+	}
+}
+
+func TestMapFirstErrorByIndex(t *testing.T) {
+	// Every task beyond index 10 fails too, but the reported error
+	// must be the lowest-indexed failure among the tasks that ran —
+	// with a serial reference, exactly index 10.
+	for _, p := range []int{1, 4} {
+		_, err := Map(context.Background(), 50, p, func(i int) (int, error) {
+			if i >= 10 {
+				return 0, fmt.Errorf("task %d failed", i)
+			}
+			return i, nil
+		})
+		if err == nil {
+			t.Fatalf("p=%d: expected error", p)
+		}
+		if p == 1 && err.Error() != "task 10 failed" {
+			t.Fatalf("serial first error = %q, want task 10", err)
+		}
+	}
+}
+
+func TestMapSerialStopsAtFirstError(t *testing.T) {
+	var calls int32
+	sentinel := errors.New("boom")
+	_, err := Map(context.Background(), 20, 1, func(i int) (int, error) {
+		atomic.AddInt32(&calls, 1)
+		if i == 3 {
+			return 0, sentinel
+		}
+		return 0, nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 4 {
+		t.Fatalf("serial map ran %d tasks after failure at index 3", calls)
+	}
+}
+
+func TestMapCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started int32
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, err := Map(ctx, 1000, 2, func(i int) (int, error) {
+			if atomic.AddInt32(&started, 1) == 1 {
+				cancel()
+			}
+			return i, nil
+		})
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("err = %v, want context.Canceled", err)
+		}
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Map did not observe cancellation")
+	}
+	if atomic.LoadInt32(&started) == 1000 {
+		t.Fatal("cancellation did not stop the sweep early")
+	}
+}
+
+func TestMapBoundedConcurrency(t *testing.T) {
+	const workers = 3
+	var inFlight, maxSeen int32
+	_, err := Map(context.Background(), 64, workers, func(i int) (int, error) {
+		cur := atomic.AddInt32(&inFlight, 1)
+		for {
+			prev := atomic.LoadInt32(&maxSeen)
+			if cur <= prev || atomic.CompareAndSwapInt32(&maxSeen, prev, cur) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt32(&inFlight, -1)
+		return i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if maxSeen > workers {
+		t.Fatalf("observed %d concurrent tasks, cap is %d", maxSeen, workers)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	const n = 40
+	out := make([]int32, n)
+	if err := ForEach(context.Background(), n, 4, func(i int) error {
+		atomic.StoreInt32(&out[i], int32(i+1))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != int32(i+1) {
+			t.Fatalf("slot %d = %d", i, v)
+		}
+	}
+	sentinel := errors.New("nope")
+	if err := ForEach(context.Background(), n, 4, func(i int) error {
+		return sentinel
+	}); !errors.Is(err, sentinel) {
+		t.Fatalf("ForEach error = %v", err)
+	}
+}

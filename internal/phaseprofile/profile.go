@@ -102,10 +102,12 @@ func FromTrace(r io.Reader, app string) ([]*Phase, error) {
 	)
 	classOf := make([]metricClass, len(defs.Metrics))
 	pmcOf := make([]pmu.EventID, len(defs.Metrics))
+	hasPowerDef := false
 	for i, m := range defs.Metrics {
 		switch {
 		case IsPowerMetric(m.Name):
 			classOf[i] = mcPower
+			hasPowerDef = true
 			continue
 		}
 		switch m.Name {
@@ -149,12 +151,20 @@ func FromTrace(r io.Reader, app string) ([]*Phase, error) {
 		if current.EndNs <= current.StartNs {
 			return fmt.Errorf("phaseprofile: empty phase %q", current.Region)
 		}
-		// Node power = sum of the per-socket channel means.
+		// Node power = sum of the per-socket channel means. A phase
+		// that recorded power channels but caught no samples in its
+		// window must not silently become a 0 W observation — the
+		// regression would treat it as free power. Reject it instead.
 		var pw float64
+		sampledChannels := 0
 		for _, ref := range sortedRefs(powerA) {
 			if a := powerA[ref]; a.weightS > 0 {
 				pw += a.sum / a.weightS
+				sampledChannels++
 			}
+		}
+		if hasPowerDef && sampledChannels == 0 {
+			return fmt.Errorf("phaseprofile: phase %q [%d, %d] ns has no power samples", current.Region, current.StartNs, current.EndNs)
 		}
 		current.PowerW = pw
 		if len(voltA) > 0 {

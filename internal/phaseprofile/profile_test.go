@@ -3,6 +3,7 @@ package phaseprofile
 import (
 	"bytes"
 	"math"
+	"strings"
 	"testing"
 
 	"pmcpower/internal/pmu"
@@ -184,5 +185,70 @@ func TestCombineRunsKeepsDistinctKeys(t *testing.T) {
 	// Deterministic order.
 	if merged[0].Region != "r@4" || merged[1].Region != "r@8" {
 		t.Fatalf("merge order not deterministic: %v %v", merged[0].Region, merged[1].Region)
+	}
+}
+
+func TestFromTraceRejectsPhaseWithoutPowerSamples(t *testing.T) {
+	// A trace whose metric table defines power channels but whose
+	// phase window caught no power sample must be rejected — recording
+	// it as a 0 W observation would poison the regression.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	loc, _ := w.DefineLocation("master")
+	regA, _ := w.DefineRegion("withPower")
+	regB, _ := w.DefineRegion("noPower")
+	thr, _ := w.DefineMetric(MetricThreads, "threads", trace.MetricSync)
+	frq, _ := w.DefineMetric(MetricFreq, "MHz", trace.MetricSync)
+	pow, _ := w.DefineMetric("socket0_power", "W", trace.MetricAsync)
+	ev := func(e trace.Event) {
+		t.Helper()
+		if err := w.WriteEvent(e); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Phase A samples power normally.
+	ev(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 0, Region: regA})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 0, Metric: thr, Value: 4})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 0, Metric: frq, Value: 2400})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 100, Metric: pow, Value: 95})
+	ev(trace.Event{Kind: trace.KindLeave, Location: loc, TimeNs: 1_000_000_000, Region: regA})
+	// Phase B is too short to catch a single power sample.
+	ev(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 2_000_000_000, Region: regB})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 2_000_000_000, Metric: thr, Value: 4})
+	ev(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 2_000_000_000, Metric: frq, Value: 2400})
+	ev(trace.Event{Kind: trace.KindLeave, Location: loc, TimeNs: 2_000_000_500, Region: regB})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := FromTrace(&buf, "x")
+	if err == nil {
+		t.Fatal("phase without power samples must be rejected")
+	}
+	if !strings.Contains(err.Error(), "noPower") {
+		t.Fatalf("error must name the offending phase, got: %v", err)
+	}
+}
+
+func TestFromTraceAllowsTracesWithoutPowerChannels(t *testing.T) {
+	// Traces that define no power channel at all (e.g. counter-only
+	// auxiliary runs) are still valid — only a defined-but-unsampled
+	// power channel is an error.
+	var buf bytes.Buffer
+	w := trace.NewWriter(&buf)
+	loc, _ := w.DefineLocation("master")
+	reg, _ := w.DefineRegion("r")
+	thr, _ := w.DefineMetric(MetricThreads, "threads", trace.MetricSync)
+	_ = w.WriteEvent(trace.Event{Kind: trace.KindEnter, Location: loc, TimeNs: 0, Region: reg})
+	_ = w.WriteEvent(trace.Event{Kind: trace.KindMetric, Location: loc, TimeNs: 0, Metric: thr, Value: 2})
+	_ = w.WriteEvent(trace.Event{Kind: trace.KindLeave, Location: loc, TimeNs: 1_000_000, Region: reg})
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	phases, err := FromTrace(&buf, "x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(phases) != 1 || phases[0].PowerW != 0 {
+		t.Fatalf("power-less trace must parse with 0 W: %+v", phases)
 	}
 }

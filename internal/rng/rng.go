@@ -38,6 +38,17 @@ func (r *Rand) Split(label uint64) *Rand {
 	return New(mix64(r.seed ^ mix64(label^0x9e3779b97f4a7c15)))
 }
 
+// Stream derives the RNG stream of task i of a campaign seeded with
+// seed: New(seed ^ splitmix64(i)). It is the index-based counterpart
+// of Split for parallel fan-outs — every task gets an independent,
+// collision-resistant stream that depends only on (seed, i), never on
+// which goroutine runs the task or in what order tasks execute. This
+// is what keeps parallel acquisition noise bit-identical to the
+// serial schedule.
+func Stream(seed uint64, i uint64) *Rand {
+	return New(seed ^ mix64(i+0x9e3779b97f4a7c15))
+}
+
 // Uint64 returns the next 64 random bits.
 func (r *Rand) Uint64() uint64 {
 	r.state += 0x9e3779b97f4a7c15

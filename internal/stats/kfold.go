@@ -19,13 +19,15 @@ type Fold struct {
 // most one. The shuffle is driven by the supplied deterministic
 // generator.
 //
-// It panics if k < 2 or k > n.
-func KFold(n, k int, r *rng.Rand) []Fold {
+// k flows in from CLI flags and experiment configs, so invalid values
+// (k < 2, or more folds than observations) are reported as errors, not
+// panics.
+func KFold(n, k int, r *rng.Rand) ([]Fold, error) {
 	if k < 2 {
-		panic(fmt.Sprintf("stats: KFold needs k >= 2, got %d", k))
+		return nil, fmt.Errorf("stats: KFold needs k >= 2, got %d", k)
 	}
 	if k > n {
-		panic(fmt.Sprintf("stats: KFold with k=%d folds but only n=%d observations", k, n))
+		return nil, fmt.Errorf("stats: KFold with k=%d folds but only n=%d observations", k, n)
 	}
 	perm := r.Perm(n)
 
@@ -50,7 +52,7 @@ func KFold(n, k int, r *rng.Rand) []Fold {
 		}
 		folds[f] = Fold{Train: train, Test: test}
 	}
-	return folds
+	return folds, nil
 }
 
 // Subset gathers the elements of xs at the given indices.

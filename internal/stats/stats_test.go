@@ -218,7 +218,10 @@ func TestR2Score(t *testing.T) {
 func TestKFoldPartition(t *testing.T) {
 	r := rng.New(33)
 	n, k := 47, 10
-	folds := KFold(n, k, r)
+	folds, err := KFold(n, k, r)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(folds) != k {
 		t.Fatalf("got %d folds", len(folds))
 	}
@@ -262,8 +265,11 @@ func TestKFoldPartition(t *testing.T) {
 }
 
 func TestKFoldDeterminism(t *testing.T) {
-	f1 := KFold(20, 4, rng.New(5))
-	f2 := KFold(20, 4, rng.New(5))
+	f1, err1 := KFold(20, 4, rng.New(5))
+	f2, err2 := KFold(20, 4, rng.New(5))
+	if err1 != nil || err2 != nil {
+		t.Fatal(err1, err2)
+	}
 	for i := range f1 {
 		for j := range f1[i].Test {
 			if f1[i].Test[j] != f2[i].Test[j] {
@@ -273,16 +279,17 @@ func TestKFoldDeterminism(t *testing.T) {
 	}
 }
 
-func TestKFoldPanics(t *testing.T) {
-	for _, tc := range []struct{ n, k int }{{5, 1}, {3, 4}} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatalf("KFold(%d,%d) must panic", tc.n, tc.k)
-				}
-			}()
-			KFold(tc.n, tc.k, rng.New(1))
-		}()
+func TestKFoldRejectsInvalidK(t *testing.T) {
+	// k comes from CLI flags and experiment configs: invalid values
+	// must surface as errors, never as panics.
+	for _, tc := range []struct{ n, k int }{{5, 1}, {5, 0}, {5, -2}, {3, 4}} {
+		folds, err := KFold(tc.n, tc.k, rng.New(1))
+		if err == nil {
+			t.Fatalf("KFold(%d,%d) must return an error", tc.n, tc.k)
+		}
+		if folds != nil {
+			t.Fatalf("KFold(%d,%d) returned folds alongside error", tc.n, tc.k)
+		}
 	}
 }
 
@@ -398,5 +405,44 @@ func TestNormalCDF(t *testing.T) {
 	}
 	if v := NormalCDF(1.6448536269514722); !almost(v, 0.95, 1e-9) {
 		t.Fatalf("Φ(1.645) = %v", v)
+	}
+}
+
+func TestVIFParallelEquivalence(t *testing.T) {
+	// The auxiliary regressions are independent and collected in
+	// column order, so parallel VIF must be bit-identical to serial.
+	r := rng.New(46)
+	n := 150
+	x := mat.New(n, 6)
+	for i := 0; i < n; i++ {
+		a := r.Norm()
+		for j := 0; j < 5; j++ {
+			x.Set(i, j, a+r.Norm())
+		}
+		x.Set(i, 5, a+r.NormScaled(0, 0.05))
+	}
+	serial, err := VIFP(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := VIFP(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range serial {
+		if serial[j] != par[j] {
+			t.Fatalf("VIF[%d] differs: serial %v, parallel %v", j, serial[j], par[j])
+		}
+	}
+	ms, err := MeanVIFP(x, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mp, err := MeanVIFP(x, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ms != mp {
+		t.Fatalf("mean VIF differs: serial %v, parallel %v", ms, mp)
 	}
 }

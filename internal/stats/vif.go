@@ -1,10 +1,12 @@
 package stats
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"pmcpower/internal/mat"
+	"pmcpower/internal/parallel"
 )
 
 // VIF computes the variance inflation factor for every column of x.
@@ -21,22 +23,27 @@ import (
 // a one-element slice containing NaN (matching the "n/a" entry in the
 // paper's Tables I and IV for the first selected counter).
 func VIF(x *mat.Matrix) ([]float64, error) {
+	return VIFP(x, 1)
+}
+
+// VIFP is VIF with the auxiliary regressions fanned out over
+// parallelism workers (0 = GOMAXPROCS, 1 = serial). The k auxiliary
+// fits are independent; results are collected in column order, so the
+// output is bit-identical at every parallelism level.
+func VIFP(x *mat.Matrix, parallelism int) ([]float64, error) {
 	k := x.Cols()
-	out := make([]float64, k)
 	if k == 1 {
-		out[0] = math.NaN()
-		return out, nil
+		return []float64{math.NaN()}, nil
 	}
-	for j := 0; j < k; j++ {
+	out, err := parallel.Map(context.Background(), k, parallelism, func(j int) (float64, error) {
 		others := dropColumn(x, j)
 		res, err := FitOLS(others, x.Col(j), OLSOptions{Intercept: true})
 		if err != nil {
-			return nil, fmt.Errorf("stats: VIF auxiliary regression for column %d: %w", j, err)
+			return 0, fmt.Errorf("stats: VIF auxiliary regression for column %d: %w", j, err)
 		}
 		r2 := res.R2
 		if r2 >= 1 {
-			out[j] = math.Inf(1)
-			continue
+			return math.Inf(1), nil
 		}
 		v := 1 / (1 - r2)
 		// Auxiliary R² can come out slightly negative for a column
@@ -45,7 +52,10 @@ func VIF(x *mat.Matrix) ([]float64, error) {
 		if v < 1 {
 			v = 1
 		}
-		out[j] = v
+		return v, nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -54,7 +64,12 @@ func VIF(x *mat.Matrix) ([]float64, error) {
 // the stability indicator used by the paper. The NaN produced for a
 // single-column input propagates; an Inf VIF yields +Inf.
 func MeanVIF(x *mat.Matrix) (float64, error) {
-	vs, err := VIF(x)
+	return MeanVIFP(x, 1)
+}
+
+// MeanVIFP is MeanVIF over VIFP's parallel auxiliary regressions.
+func MeanVIFP(x *mat.Matrix, parallelism int) (float64, error) {
+	vs, err := VIFP(x, parallelism)
 	if err != nil {
 		return 0, err
 	}
