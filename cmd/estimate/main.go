@@ -183,7 +183,14 @@ func estimate(modelPath, csvPath string) error {
 		fmt.Println()
 	}
 	if hasPower && len(actual) > 0 {
-		fmt.Printf("\nMAPE over %d rows: %.2f%%\n", len(actual), stats.MAPE(actual, predicted))
+		ape, err := stats.APEDetail(actual, predicted)
+		if err != nil {
+			return fmt.Errorf("computing MAPE: %w", err)
+		}
+		fmt.Printf("\nMAPE over %d rows: %.2f%%\n", ape.Used, ape.MAPE)
+		if ape.Skipped > 0 {
+			fmt.Printf("warning: %d rows excluded (near-zero actual power)\n", ape.Skipped)
+		}
 	}
 	return nil
 }

@@ -1,0 +1,135 @@
+// Command pmcpowerd serves trained Equation-1 power models as an
+// always-on HTTP monitoring service — the deployment the paper
+// motivates: counter-fed real-time power information for power
+// management.
+//
+// Usage:
+//
+//	pmcpowerd -model model.json [-model other.json] [-addr :9120]
+//	pmcpowerd -selfcal [-addr :9120]   # calibrate a demo model first
+//
+// Endpoints:
+//
+//	GET  /healthz               liveness
+//	GET  /v1/models             registered models (name, version, events, R²)
+//	POST /v1/predict            batch prediction over JSON rows
+//	POST /v1/estimate           streaming NDJSON estimation
+//	GET  /metrics               text metrics (requests, sessions, rejects, latency)
+//
+// /v1/estimate reads one JSON counter sample per line and writes one
+// estimate per line; ?session=ID keeps estimator state across
+// requests, ?alpha=0.3 sets the EWMA factor, ?model=name@2 pins a
+// model version.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/serve"
+	"pmcpower/internal/workloads"
+)
+
+func main() {
+	var modelPaths []string
+	flag.Func("model", "trained model JSON to serve (repeatable; registered under its base name)",
+		func(p string) error { modelPaths = append(modelPaths, p); return nil })
+	addr := flag.String("addr", ":9120", "listen address")
+	selfcal := flag.Bool("selfcal", false, "calibrate a model on the simulated platform at startup (registered as \"default\")")
+	seed := flag.Uint64("seed", 42, "calibration seed for -selfcal")
+	alpha := flag.Float64("alpha", 1, "default EWMA smoothing factor for streams that do not pass ?alpha=")
+	idleTTL := flag.Duration("idle-ttl", 5*time.Minute, "evict estimator sessions idle this long")
+	maxSessions := flag.Int("max-sessions", 1024, "cap on concurrent estimator sessions")
+	flag.Parse()
+
+	if err := run(modelPaths, *addr, *selfcal, *seed, *alpha, *idleTTL, *maxSessions); err != nil {
+		fmt.Fprintln(os.Stderr, "pmcpowerd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(modelPaths []string, addr string, selfcal bool, seed uint64, alpha float64, idleTTL time.Duration, maxSessions int) error {
+	reg := serve.NewRegistry()
+	for _, p := range modelPaths {
+		name, version, err := reg.LoadFile(p)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "loaded %s as %s@%d\n", p, name, version)
+	}
+	if selfcal {
+		m, err := calibrate(seed)
+		if err != nil {
+			return fmt.Errorf("self-calibration: %w", err)
+		}
+		if _, err := reg.Add("default", m); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "self-calibrated model registered as default@1: %s\n", m)
+	}
+	if len(reg.List()) == 0 {
+		return errors.New("no models: pass -model model.json (train one with `estimate -train model.json`) or -selfcal")
+	}
+
+	srv := serve.New(serve.Config{
+		Registry:     reg,
+		DefaultAlpha: alpha,
+		IdleTTL:      idleTTL,
+		MaxSessions:  maxSessions,
+	})
+	defer srv.Close()
+
+	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		fmt.Fprintf(os.Stderr, "listening on %s\n", addr)
+		errc <- httpSrv.ListenAndServe()
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	return nil
+}
+
+// calibrate trains a six-counter model on the simulated platform —
+// the same selection-then-training flow as `estimate -train`, for
+// serving without a pre-trained document.
+func calibrate(seed uint64) (*core.Model, error) {
+	selDS, err := acquisition.Acquire(acquisition.Options{Seed: seed}, workloads.Active(), []int{2400})
+	if err != nil {
+		return nil, err
+	}
+	steps, err := core.SelectEvents(selDS.Rows, core.SelectOptions{Count: 6})
+	if err != nil {
+		return nil, err
+	}
+	events := core.Events(steps)
+	fmt.Fprintf(os.Stderr, "selected counters: %v\n", pmu.ShortNames(events))
+	full, err := acquisition.Acquire(acquisition.Options{Seed: seed, Events: events},
+		workloads.Active(), []int{1200, 1600, 2000, 2400, 2600})
+	if err != nil {
+		return nil, err
+	}
+	return core.Train(full.Rows, events, core.TrainOptions{})
+}

@@ -1,11 +1,28 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 
 	"pmcpower/internal/acquisition"
 	"pmcpower/internal/pmu"
+)
+
+// Sentinel rejection kinds for OnlineEstimator.Push. Deployment
+// surfaces (internal/serve) classify rejected samples by these with
+// errors.Is, so the mapping from validation failure to client-visible
+// reason is typed rather than string-matched.
+var (
+	// ErrOutOfOrder marks a sample older than the last accepted one.
+	ErrOutOfOrder = errors.New("sample out of order")
+	// ErrBadOperatingPoint marks a non-positive frequency or a
+	// non-finite/non-positive voltage.
+	ErrBadOperatingPoint = errors.New("invalid operating point")
+	// ErrMissingEvent marks a sample lacking a model event rate.
+	ErrMissingEvent = errors.New("missing model event")
+	// ErrBadRate marks a NaN, infinite, or negative counter rate.
+	ErrBadRate = errors.New("invalid counter rate")
 )
 
 // This file provides the run-time side of the paper's motivation:
@@ -70,18 +87,18 @@ type Estimate struct {
 // integral).
 func (e *OnlineEstimator) Push(s CounterSample) (Estimate, error) {
 	if e.primed && s.TimeNs < e.lastNs {
-		return Estimate{}, fmt.Errorf("core: sample at %d ns out of order (last %d ns)", s.TimeNs, e.lastNs)
+		return Estimate{}, fmt.Errorf("core: %w: sample at %d ns (last %d ns)", ErrOutOfOrder, s.TimeNs, e.lastNs)
 	}
 	if s.FreqMHz <= 0 || !(s.VoltageV > 0) || math.IsInf(s.VoltageV, 0) {
-		return Estimate{}, fmt.Errorf("core: sample lacks a valid operating point (freq %d MHz, voltage %v V)", s.FreqMHz, s.VoltageV)
+		return Estimate{}, fmt.Errorf("core: %w: freq %d MHz, voltage %v V", ErrBadOperatingPoint, s.FreqMHz, s.VoltageV)
 	}
 	for _, id := range e.model.Events {
 		r, ok := s.Rates[id]
 		if !ok {
-			return Estimate{}, fmt.Errorf("core: sample missing model event %s", pmu.Lookup(id).Name)
+			return Estimate{}, fmt.Errorf("core: %w: %s", ErrMissingEvent, pmu.Lookup(id).Name)
 		}
 		if math.IsNaN(r) || math.IsInf(r, 0) || r < 0 {
-			return Estimate{}, fmt.Errorf("core: sample has invalid rate %v for event %s", r, pmu.Lookup(id).Name)
+			return Estimate{}, fmt.Errorf("core: %w: %v for event %s", ErrBadRate, r, pmu.Lookup(id).Name)
 		}
 	}
 	row := &acquisition.Row{

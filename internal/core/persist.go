@@ -90,16 +90,21 @@ func ReadJSON(r io.Reader) (*Model, error) {
 			return nil, fmt.Errorf("core: model document contains non-finite coefficients")
 		}
 	}
+	est, err := stats.ParseCovEstimator(doc.Estimator)
+	if err != nil {
+		return nil, fmt.Errorf("core: model document: %w", err)
+	}
 	m := &Model{
 		Alpha: append([]float64(nil), doc.Alpha...),
 		Beta:  doc.Beta,
 		Gamma: doc.Gamma,
 		Delta: doc.Delta,
 		Fit: &stats.OLSResult{
-			R2:     doc.R2,
-			AdjR2:  doc.AdjR2,
-			StdErr: append([]float64(nil), doc.StdErr...),
-			N:      doc.N,
+			R2:        doc.R2,
+			AdjR2:     doc.AdjR2,
+			StdErr:    append([]float64(nil), doc.StdErr...),
+			Estimator: est,
+			N:         doc.N,
 		},
 	}
 	for _, name := range doc.Events {

@@ -37,9 +37,21 @@ func TestModelJSONRoundTrip(t *testing.T) {
 			t.Fatal("loaded model predicts differently")
 		}
 	}
-	// Diagnostics travel along.
+	// Diagnostics travel along — including the covariance estimator,
+	// which the read side must parse back from its string form.
 	if got.Fit.R2 != m.Fit.R2 || got.Fit.N != m.Fit.N {
 		t.Fatal("diagnostics lost in round trip")
+	}
+	if got.Fit.Estimator != m.Fit.Estimator {
+		t.Fatalf("estimator %v became %v in round trip", m.Fit.Estimator, got.Fit.Estimator)
+	}
+	if len(got.Fit.StdErr) != len(m.Fit.StdErr) {
+		t.Fatal("standard errors lost in round trip")
+	}
+	for i := range m.Fit.StdErr {
+		if got.Fit.StdErr[i] != m.Fit.StdErr[i] {
+			t.Fatal("standard errors changed in round trip")
+		}
 	}
 }
 
@@ -51,6 +63,7 @@ func TestReadJSONRejectsBadDocuments(t *testing.T) {
 		"alpha mismatch": `{"version":1,"events":["PAPI_TOT_CYC"],"alpha":[1,2]}`,
 		"unknown event":  `{"version":1,"events":["PAPI_NOPE"],"alpha":[1]}`,
 		"unknown field":  `{"version":1,"events":["PAPI_TOT_CYC"],"alpha":[1],"bogus":true}`,
+		"bad estimator":  `{"version":1,"events":["PAPI_TOT_CYC"],"alpha":[1],"estimator":"HC9"}`,
 	}
 	for name, doc := range cases {
 		if _, err := ReadJSON(strings.NewReader(doc)); err == nil {

@@ -1,0 +1,72 @@
+package core
+
+import (
+	"sync"
+)
+
+// StreamSession couples an OnlineEstimator with an EnergyAccountant
+// behind one mutex, so a deployment surface (the pmcpowerd daemon,
+// or any embedder) can feed one logical client's samples from
+// multiple goroutines without interleaving the EWMA and trapezoid
+// state. The arithmetic is exactly that of the wrapped types: a
+// sequence of samples pushed through a StreamSession yields
+// bit-identical estimates and joules to driving an OnlineEstimator
+// and EnergyAccountant directly in the same order.
+type StreamSession struct {
+	mu   sync.Mutex
+	est  *OnlineEstimator
+	acct *EnergyAccountant
+}
+
+// NewStreamSession wraps a trained model. alpha is the EWMA smoothing
+// factor of the embedded OnlineEstimator (the energy integral always
+// uses instantaneous power, so alpha does not affect joules).
+func NewStreamSession(m *Model, alpha float64) (*StreamSession, error) {
+	est, err := NewOnlineEstimator(m, alpha)
+	if err != nil {
+		return nil, err
+	}
+	acct, err := NewEnergyAccountant(m)
+	if err != nil {
+		return nil, err
+	}
+	return &StreamSession{est: est, acct: acct}, nil
+}
+
+// StreamEstimate is one output of a StreamSession: the estimator's
+// instantaneous and smoothed watts plus the accountant's cumulative
+// joules and the number of samples accepted so far.
+type StreamEstimate struct {
+	Estimate
+	TotalJoules float64
+	Samples     uint64
+}
+
+// Push consumes one sample under the session lock. A rejected sample
+// (out of order, missing event, non-finite rate or operating point)
+// leaves both the estimator and the accountant untouched: the wrapped
+// types validate before mutating, so an error here never poisons
+// later estimates.
+func (s *StreamSession) Push(cs CounterSample) (StreamEstimate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	est, err := s.est.Push(cs)
+	if err != nil {
+		return StreamEstimate{}, err
+	}
+	// The accountant validates identically, so it cannot fail after
+	// the estimator accepted the same sample.
+	joules, err := s.acct.Push(cs)
+	if err != nil {
+		return StreamEstimate{}, err
+	}
+	return StreamEstimate{Estimate: est, TotalJoules: joules, Samples: s.est.Samples()}, nil
+}
+
+// Totals returns the cumulative joules and accepted-sample count
+// without pushing a sample.
+func (s *StreamSession) Totals() (joules float64, samples uint64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.acct.TotalJoules(), s.est.Samples()
+}

@@ -39,6 +39,9 @@ type CVFold struct {
 	TrainR2    float64
 	TrainAdjR2 float64
 	TestMAPE   float64
+	// TestSkipped counts held-out observations excluded from TestMAPE
+	// for near-zero actual power.
+	TestSkipped int
 }
 
 // CVResult is the outcome of k-fold cross validation with random
@@ -48,6 +51,18 @@ type CVResult struct {
 	// Predictions holds the out-of-fold prediction for every row —
 	// each row is in exactly one test set.
 	Predictions []Prediction
+}
+
+// SkippedObservations returns the total number of held-out
+// observations excluded from the per-fold MAPE values for near-zero
+// actuals. Reports should surface a non-zero value: a MAPE computed
+// over a fraction of the data is not comparable to the paper's.
+func (c *CVResult) SkippedObservations() int {
+	var n int
+	for _, f := range c.Folds {
+		n += f.TestSkipped
+	}
+	return n
 }
 
 // R2Summary summarizes the per-fold training R² values (Table II row 1).
@@ -142,7 +157,12 @@ func CrossValidateP(rows []*acquisition.Row, events []pmu.EventID, k int, seed u
 			actual[i] = r.PowerW
 			fr.preds[i] = Prediction{Row: r, Actual: r.PowerW, Predicted: pred[i]}
 		}
-		fr.cf.TestMAPE = stats.MAPE(actual, pred)
+		ape, err := stats.APEDetail(actual, pred)
+		if err != nil {
+			return foldResult{}, fmt.Errorf("core: fold %d: %w", fi, err)
+		}
+		fr.cf.TestMAPE = ape.MAPE
+		fr.cf.TestSkipped = ape.Skipped
 		return fr, nil
 	})
 	if err != nil {
@@ -172,7 +192,10 @@ type ScenarioResult struct {
 	TrainRows      int
 	TestRows       int
 	MAPE           float64
-	Predictions    []Prediction
+	// Skipped counts test observations excluded from MAPE for
+	// near-zero actual power (see stats.APEDetail).
+	Skipped     int
+	Predictions []Prediction
 }
 
 // Scenario1 trains on four random workloads — two drawn from each
@@ -233,6 +256,7 @@ func Scenario3(ds *acquisition.Dataset, events []pmu.EventID, seed uint64) (*Sce
 		TrainRows:   len(ds.Rows),
 		TestRows:    len(ds.Rows),
 		MAPE:        cv.MAPESummary().Mean,
+		Skipped:     cv.SkippedObservations(),
 		Predictions: cv.Predictions,
 	}, nil
 }
@@ -251,6 +275,7 @@ func Scenario4(ds *acquisition.Dataset, events []pmu.EventID, seed uint64) (*Sce
 		TrainRows:   len(syn.Rows),
 		TestRows:    len(syn.Rows),
 		MAPE:        cv.MAPESummary().Mean,
+		Skipped:     cv.SkippedObservations(),
 		Predictions: cv.Predictions,
 	}, nil
 }
@@ -275,6 +300,11 @@ func holdout(name string, trainNames []string, trainRows, testRows []*acquisitio
 		actual[i] = r.PowerW
 		res.Predictions = append(res.Predictions, Prediction{Row: r, Actual: r.PowerW, Predicted: pred[i]})
 	}
-	res.MAPE = stats.MAPE(actual, pred)
+	ape, err := stats.APEDetail(actual, pred)
+	if err != nil {
+		return nil, fmt.Errorf("core: %s: %w", name, err)
+	}
+	res.MAPE = ape.MAPE
+	res.Skipped = ape.Skipped
 	return res, nil
 }

@@ -304,6 +304,9 @@ type TableII struct {
 	R2    stats.Summary
 	AdjR2 stats.Summary
 	MAPE  stats.Summary
+	// SkippedObs counts held-out observations excluded from the MAPE
+	// summary for near-zero actual power; zero on healthy datasets.
+	SkippedObs int
 }
 
 // TableIIResult reproduces Table II.
@@ -313,9 +316,10 @@ func (c *Context) TableIIResult() (*TableII, error) {
 		return nil, err
 	}
 	return &TableII{
-		R2:    cv.R2Summary(),
-		AdjR2: cv.AdjR2Summary(),
-		MAPE:  cv.MAPESummary(),
+		R2:         cv.R2Summary(),
+		AdjR2:      cv.AdjR2Summary(),
+		MAPE:       cv.MAPESummary(),
+		SkippedObs: cv.SkippedObservations(),
 	}, nil
 }
 
@@ -366,6 +370,9 @@ type Fig4Bar struct {
 	Scenario int
 	Name     string
 	MAPE     float64
+	// Skipped counts test observations excluded from MAPE for
+	// near-zero actual power.
+	Skipped int
 }
 
 // Fig4 reproduces Figure 4: the MAPE of the four train/test scenarios.
@@ -375,10 +382,10 @@ func (c *Context) Fig4() ([]Fig4Bar, error) {
 		return nil, err
 	}
 	return []Fig4Bar{
-		{Scenario: 1, Name: s1.Name, MAPE: s1.MAPE},
-		{Scenario: 2, Name: s2.Name, MAPE: s2.MAPE},
-		{Scenario: 3, Name: s3.Name, MAPE: s3.MAPE},
-		{Scenario: 4, Name: s4.Name, MAPE: s4.MAPE},
+		{Scenario: 1, Name: s1.Name, MAPE: s1.MAPE, Skipped: s1.Skipped},
+		{Scenario: 2, Name: s2.Name, MAPE: s2.MAPE, Skipped: s2.Skipped},
+		{Scenario: 3, Name: s3.Name, MAPE: s3.MAPE, Skipped: s3.Skipped},
+		{Scenario: 4, Name: s4.Name, MAPE: s4.MAPE, Skipped: s4.Skipped},
 	}, nil
 }
 

@@ -80,6 +80,9 @@ func (c *Context) RenderTableII() (string, error) {
 	fmt.Fprintf(&sb, "%-8s %8.4f %8.4f %8.4f\n", "R²", t.R2.Min, t.R2.Max, t.R2.Mean)
 	fmt.Fprintf(&sb, "%-8s %8.4f %8.4f %8.4f\n", "Adj.R²", t.AdjR2.Min, t.AdjR2.Max, t.AdjR2.Mean)
 	fmt.Fprintf(&sb, "%-8s %8.4f %8.4f %8.4f\n", "MAPE", t.MAPE.Min, t.MAPE.Max, t.MAPE.Mean)
+	if t.SkippedObs > 0 {
+		fmt.Fprintf(&sb, "warning: %d held-out observations excluded from MAPE (near-zero actual power)\n", t.SkippedObs)
+	}
 	return sb.String(), nil
 }
 
@@ -112,7 +115,11 @@ func (c *Context) RenderFig4() (string, error) {
 	var sb strings.Builder
 	sb.WriteString("Figure 4: MAPE for the four training scenarios\n")
 	for _, b := range bars {
-		fmt.Fprintf(&sb, "%d) %-50s %6.2f%%\n", b.Scenario, b.Name, b.MAPE)
+		fmt.Fprintf(&sb, "%d) %-50s %6.2f%%", b.Scenario, b.Name, b.MAPE)
+		if b.Skipped > 0 {
+			fmt.Fprintf(&sb, "  (%d obs excluded: near-zero actual power)", b.Skipped)
+		}
+		sb.WriteByte('\n')
 	}
 	return sb.String(), nil
 }

@@ -1,0 +1,118 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Rejection reasons, used both as metric labels and in NDJSON error
+// records. They partition every way a sample or request can be
+// refused, so operators can tell a misbehaving client (out_of_order,
+// missing_event) from a capacity problem (session_limit, busy).
+const (
+	ReasonParse       = "parse"
+	ReasonUnknownEv   = "unknown_event"
+	ReasonMissingEv   = "missing_event"
+	ReasonBadRate     = "bad_rate"
+	ReasonBadOperPt   = "bad_operating_point"
+	ReasonOutOfOrder  = "out_of_order"
+	ReasonOversized   = "oversized_line"
+	ReasonSessionCap  = "session_limit"
+	ReasonSessionBusy = "session_busy"
+)
+
+// Metrics aggregates the service counters exposed at /metrics:
+// request counts by path, rejected samples by reason, accepted
+// estimates, and estimate latency (count/sum/max). Active-session
+// count is sampled from the session table at render time.
+type Metrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64
+	rejected  map[string]uint64
+	estimates uint64
+	latCount  uint64
+	latSumNs  uint64
+	latMaxNs  uint64
+	evictions uint64
+}
+
+// NewMetrics returns a zeroed metrics set.
+func NewMetrics() *Metrics {
+	return &Metrics{requests: make(map[string]uint64), rejected: make(map[string]uint64)}
+}
+
+// Request counts one HTTP request to path.
+func (m *Metrics) Request(path string) {
+	m.mu.Lock()
+	m.requests[path]++
+	m.mu.Unlock()
+}
+
+// Reject counts one rejected sample or refused request under reason.
+func (m *Metrics) Reject(reason string) {
+	m.mu.Lock()
+	m.rejected[reason]++
+	m.mu.Unlock()
+}
+
+// Rejected returns the current count for reason.
+func (m *Metrics) Rejected(reason string) uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rejected[reason]
+}
+
+// Estimate records one accepted sample and its push latency.
+func (m *Metrics) Estimate(d time.Duration) {
+	ns := uint64(d.Nanoseconds())
+	m.mu.Lock()
+	m.estimates++
+	m.latCount++
+	m.latSumNs += ns
+	if ns > m.latMaxNs {
+		m.latMaxNs = ns
+	}
+	m.mu.Unlock()
+}
+
+// Eviction counts one idle-session eviction.
+func (m *Metrics) Eviction() {
+	m.mu.Lock()
+	m.evictions++
+	m.mu.Unlock()
+}
+
+// Render writes the text exposition format. activeSessions is sampled
+// by the caller (the session manager owns that number). Lines are
+// sorted so the output is deterministic.
+func (m *Metrics) Render(activeSessions int) string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var sb strings.Builder
+	keys := make([]string, 0, len(m.requests))
+	for k := range m.requests {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "pmcpowerd_requests_total{path=%q} %d\n", k, m.requests[k])
+	}
+	fmt.Fprintf(&sb, "pmcpowerd_sessions_active %d\n", activeSessions)
+	fmt.Fprintf(&sb, "pmcpowerd_sessions_evicted_total %d\n", m.evictions)
+	keys = keys[:0]
+	for k := range m.rejected {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(&sb, "pmcpowerd_samples_rejected_total{reason=%q} %d\n", k, m.rejected[k])
+	}
+	fmt.Fprintf(&sb, "pmcpowerd_estimates_total %d\n", m.estimates)
+	fmt.Fprintf(&sb, "pmcpowerd_estimate_latency_seconds_count %d\n", m.latCount)
+	fmt.Fprintf(&sb, "pmcpowerd_estimate_latency_seconds_sum %.9f\n", float64(m.latSumNs)/1e9)
+	fmt.Fprintf(&sb, "pmcpowerd_estimate_latency_seconds_max %.9f\n", float64(m.latMaxNs)/1e9)
+	return sb.String()
+}

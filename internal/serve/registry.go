@@ -1,0 +1,149 @@
+// Package serve exposes trained Equation-1 power models as an
+// always-on HTTP service — the run-time power monitor the paper
+// motivates ("a growing need for accurate real-time power information
+// for efficient power management"). It provides a model registry, a
+// concurrency-safe session layer over core.StreamSession, streaming
+// NDJSON estimation, batch prediction, and a text metrics endpoint.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+
+	"pmcpower/internal/core"
+	"pmcpower/internal/pmu"
+)
+
+// ModelInfo describes one registered model version, as reported by
+// GET /v1/models.
+type ModelInfo struct {
+	Name      string   `json:"name"`
+	Version   int      `json:"version"`
+	Latest    bool     `json:"latest"`
+	Events    []string `json:"events"`
+	R2        float64  `json:"r2"`
+	Estimator string   `json:"estimator,omitempty"`
+	TrainN    int      `json:"train_n,omitempty"`
+}
+
+// Registry holds deployed models keyed by name and version. Adding a
+// model under an existing name appends a new version; lookups resolve
+// either a bare name (latest version) or an explicit "name@version"
+// key, so a monitoring fleet can pin estimates to the exact
+// calibration that produced them.
+type Registry struct {
+	mu     sync.RWMutex
+	models map[string][]*core.Model
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{models: make(map[string][]*core.Model)}
+}
+
+// Add registers m under name and returns the version assigned to it
+// (1 for a new name, previous+1 on redeploy).
+func (r *Registry) Add(name string, m *core.Model) (int, error) {
+	if name == "" || strings.Contains(name, "@") {
+		return 0, fmt.Errorf("serve: invalid model name %q (must be non-empty, without '@')", name)
+	}
+	if m == nil {
+		return 0, fmt.Errorf("serve: nil model for %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.models[name] = append(r.models[name], m)
+	return len(r.models[name]), nil
+}
+
+// LoadFile reads a persisted model document (core.ReadJSON) and
+// registers it under the file's base name without extension.
+func (r *Registry) LoadFile(path string) (name string, version int, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, fmt.Errorf("serve: %w", err)
+	}
+	defer f.Close()
+	m, err := core.ReadJSON(f)
+	if err != nil {
+		return "", 0, fmt.Errorf("serve: loading %s: %w", path, err)
+	}
+	name = strings.TrimSuffix(filepath.Base(path), filepath.Ext(path))
+	version, err = r.Add(name, m)
+	return name, version, err
+}
+
+// Get resolves key — "name" for the latest version or "name@N" for a
+// pinned one. The empty key resolves only when exactly one model name
+// is registered (the unambiguous default).
+func (r *Registry) Get(key string) (*core.Model, error) {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	name, version := key, 0
+	if i := strings.IndexByte(key, '@'); i >= 0 {
+		name = key[:i]
+		v, err := strconv.Atoi(key[i+1:])
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("serve: bad model version in %q", key)
+		}
+		version = v
+	}
+	if name == "" {
+		if len(r.models) != 1 {
+			return nil, fmt.Errorf("serve: model parameter required (%d models registered)", len(r.models))
+		}
+		for n := range r.models {
+			name = n
+		}
+	}
+	versions, ok := r.models[name]
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown model %q", name)
+	}
+	if version == 0 {
+		return versions[len(versions)-1], nil
+	}
+	if version > len(versions) {
+		return nil, fmt.Errorf("serve: model %q has no version %d (latest %d)", name, version, len(versions))
+	}
+	return versions[version-1], nil
+}
+
+// List reports every registered model version, sorted by name then
+// version.
+func (r *Registry) List() []ModelInfo {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	var out []ModelInfo
+	names := make([]string, 0, len(r.models))
+	for n := range r.models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		versions := r.models[n]
+		for vi, m := range versions {
+			info := ModelInfo{
+				Name:    n,
+				Version: vi + 1,
+				Latest:  vi == len(versions)-1,
+				Events:  make([]string, len(m.Events)),
+			}
+			for i, id := range m.Events {
+				info.Events[i] = pmu.Lookup(id).Name
+			}
+			if m.Fit != nil {
+				info.R2 = m.Fit.R2
+				info.Estimator = m.Fit.Estimator.String()
+				info.TrainN = m.Fit.N
+			}
+			out = append(out, info)
+		}
+	}
+	return out
+}

@@ -1,0 +1,463 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"strconv"
+	"sync"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/pmu"
+)
+
+// Config tunes a Server. The zero value is usable: every field has a
+// production default.
+type Config struct {
+	// Registry supplies the deployed models; a fresh empty registry is
+	// created when nil.
+	Registry *Registry
+	// DefaultAlpha is the EWMA factor used when a client does not pass
+	// ?alpha=. Default 1 (no smoothing — what the energy integral and
+	// batch prediction also see).
+	DefaultAlpha float64
+	// IdleTTL evicts sessions with no attached stream for this long.
+	// Default 5 minutes.
+	IdleTTL time.Duration
+	// SweepInterval is the janitor period. Default IdleTTL/4,
+	// clamped to [1s, 30s].
+	SweepInterval time.Duration
+	// MaxSessions caps live sessions; further session creation gets
+	// HTTP 429. Default 1024.
+	MaxSessions int
+	// MaxLineBytes caps one NDJSON input line — the per-sample
+	// backpressure bound. Default 1 MiB.
+	MaxLineBytes int
+	// Now is the clock, injectable for tests. Default time.Now.
+	Now func() time.Time
+}
+
+func (c Config) withDefaults() Config {
+	if c.Registry == nil {
+		c.Registry = NewRegistry()
+	}
+	if c.DefaultAlpha == 0 {
+		c.DefaultAlpha = 1
+	}
+	if c.IdleTTL == 0 {
+		c.IdleTTL = 5 * time.Minute
+	}
+	if c.SweepInterval == 0 {
+		c.SweepInterval = c.IdleTTL / 4
+		if c.SweepInterval < time.Second {
+			c.SweepInterval = time.Second
+		}
+		if c.SweepInterval > 30*time.Second {
+			c.SweepInterval = 30 * time.Second
+		}
+	}
+	if c.MaxSessions == 0 {
+		c.MaxSessions = 1024
+	}
+	if c.MaxLineBytes == 0 {
+		c.MaxLineBytes = 1 << 20
+	}
+	if c.Now == nil {
+		c.Now = time.Now
+	}
+	return c
+}
+
+// Server is the pmcpowerd HTTP service: streaming NDJSON estimation
+// over per-client sessions, batch prediction, model listing, health,
+// and text metrics.
+type Server struct {
+	cfg      Config
+	reg      *Registry
+	metrics  *Metrics
+	sessions *sessionManager
+	mux      *http.ServeMux
+
+	stop     chan struct{}
+	stopOnce sync.Once
+	janitor  sync.WaitGroup
+}
+
+// New builds a Server and starts its idle-eviction janitor. Call
+// Close when done.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:     cfg,
+		reg:     cfg.Registry,
+		metrics: NewMetrics(),
+		stop:    make(chan struct{}),
+	}
+	s.sessions = newSessionManager(cfg.MaxSessions, cfg.IdleTTL, cfg.Now, s.metrics)
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/healthz", s.handleHealth)
+	s.mux.HandleFunc("/v1/models", s.handleModels)
+	s.mux.HandleFunc("/v1/predict", s.handlePredict)
+	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+	s.janitor.Add(1)
+	go s.runJanitor()
+	return s
+}
+
+// Handler returns the root handler for an http.Server.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Metrics exposes the server's counters (used by tests and embedders).
+func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// ActiveSessions returns the number of live estimator sessions.
+func (s *Server) ActiveSessions() int { return s.sessions.count() }
+
+// SweepIdleSessions runs one eviction pass at the server's current
+// clock and returns the number of sessions evicted. The janitor calls
+// this periodically; tests call it directly with an advanced fake
+// clock.
+func (s *Server) SweepIdleSessions() int { return s.sessions.sweep(s.cfg.Now()) }
+
+// Close stops the janitor. In-flight requests are the http.Server's
+// concern (use its Shutdown for request draining).
+func (s *Server) Close() {
+	s.stopOnce.Do(func() { close(s.stop) })
+	s.janitor.Wait()
+}
+
+func (s *Server) runJanitor() {
+	defer s.janitor.Done()
+	t := time.NewTicker(s.cfg.SweepInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.stop:
+			return
+		case <-t.C:
+			s.SweepIdleSessions()
+		}
+	}
+}
+
+// --- wire formats ----------------------------------------------------
+
+// wireSample is one NDJSON input line of /v1/estimate: a
+// core.CounterSample with events keyed by PAPI name.
+type wireSample struct {
+	TimeNs   uint64             `json:"time_ns"`
+	FreqMHz  int                `json:"freq_mhz"`
+	VoltageV float64            `json:"voltage_v"`
+	Rates    map[string]float64 `json:"rates"`
+}
+
+// wireEstimate is one NDJSON output line of /v1/estimate.
+type wireEstimate struct {
+	TimeNs    uint64  `json:"time_ns"`
+	InstantW  float64 `json:"instant_w"`
+	SmoothedW float64 `json:"smoothed_w"`
+	TotalJ    float64 `json:"total_j"`
+	Samples   uint64  `json:"samples"`
+}
+
+// wireError is an NDJSON error record emitted for samples rejected
+// after the stream has started (the session state is untouched; the
+// stream continues).
+type wireError struct {
+	Error  string `json:"error"`
+	Reason string `json:"reason"`
+}
+
+// predictRequest is the body of POST /v1/predict.
+type predictRequest struct {
+	Model string    `json:"model"`
+	Rows  []wireRow `json:"rows"`
+}
+
+type wireRow struct {
+	FreqMHz  int                `json:"freq_mhz"`
+	VoltageV float64            `json:"voltage_v"`
+	Rates    map[string]float64 `json:"rates"`
+}
+
+type predictResponse struct {
+	Model string    `json:"model"`
+	N     int       `json:"n"`
+	Watts []float64 `json:"watts"`
+}
+
+// --- handlers --------------------------------------------------------
+
+func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("/healthz")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("/metrics")
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, s.metrics.Render(s.sessions.count()))
+}
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("/v1/models")
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("/v1/predict")
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, ReasonParse, errors.New("serve: POST required"))
+		return
+	}
+	var req predictRequest
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		s.metrics.Reject(ReasonParse)
+		writeError(w, http.StatusBadRequest, ReasonParse, fmt.Errorf("serve: decoding request: %w", err))
+		return
+	}
+	m, err := s.reg.Get(req.Model)
+	if err != nil {
+		writeError(w, http.StatusNotFound, ReasonParse, err)
+		return
+	}
+	if len(req.Rows) == 0 {
+		s.metrics.Reject(ReasonParse)
+		writeError(w, http.StatusBadRequest, ReasonParse, errors.New("serve: request has no rows"))
+		return
+	}
+	resp := predictResponse{Model: req.Model, N: len(req.Rows)}
+	for i, wr := range req.Rows {
+		row, reason, err := convertRow(wr, m)
+		if err != nil {
+			s.metrics.Reject(reason)
+			writeError(w, http.StatusBadRequest, reason,
+				fmt.Errorf("serve: row %d: %w", i, err))
+			return
+		}
+		resp.Watts = append(resp.Watts, m.Predict(row))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
+	s.metrics.Request("/v1/estimate")
+	if r.Method != http.MethodPost {
+		writeError(w, http.StatusMethodNotAllowed, ReasonParse, errors.New("serve: POST required"))
+		return
+	}
+	q := r.URL.Query()
+	m, err := s.reg.Get(q.Get("model"))
+	if err != nil {
+		writeError(w, http.StatusNotFound, ReasonParse, err)
+		return
+	}
+	alpha := s.cfg.DefaultAlpha
+	if a := q.Get("alpha"); a != "" {
+		alpha, err = strconv.ParseFloat(a, 64)
+		if err != nil || !(alpha > 0) || alpha > 1 {
+			s.metrics.Reject(ReasonParse)
+			writeError(w, http.StatusBadRequest, ReasonParse,
+				fmt.Errorf("serve: alpha %q outside (0,1]", a))
+			return
+		}
+	}
+
+	// A named session persists across requests (and is subject to idle
+	// eviction and the one-stream backpressure limit); an anonymous
+	// stream gets a private estimator that dies with the request.
+	var stream *core.StreamSession
+	if id := q.Get("session"); id != "" {
+		key := sessionKey{model: q.Get("model"), id: id}
+		sess, herr := s.sessions.acquire(key, m, alpha)
+		if herr != nil {
+			writeError(w, herr.status, herr.reason, herr.err)
+			return
+		}
+		defer s.sessions.release(key)
+		stream = sess.stream
+	} else {
+		stream, err = core.NewStreamSession(m, alpha)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, ReasonParse, err)
+			return
+		}
+	}
+
+	// NDJSON estimation reads the request body and writes the response
+	// concurrently; without full duplex the HTTP/1.x server closes the
+	// unread body at the first response write.
+	rc := http.NewResponseController(w)
+	rc.EnableFullDuplex()
+	// In full-duplex mode the server no longer discards an unread body
+	// on handler return, so an early exit (oversized line, rejected
+	// first sample) must drain what the client already sent — bounded,
+	// to keep a hostile stream from pinning the handler.
+	defer io.Copy(io.Discard, io.LimitReader(r.Body, int64(s.cfg.MaxLineBytes)))
+
+	sc := bufio.NewScanner(r.Body)
+	// bufio takes max(cap, limit) as the token bound, so the initial
+	// buffer must not exceed the configured line cap.
+	bufCap := 64 * 1024
+	if bufCap > s.cfg.MaxLineBytes {
+		bufCap = s.cfg.MaxLineBytes
+	}
+	sc.Buffer(make([]byte, 0, bufCap), s.cfg.MaxLineBytes)
+	enc := json.NewEncoder(w)
+	streaming := false // true once the 200 header is out
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		cs, reason, err := parseSample(line, m)
+		if err == nil {
+			start := time.Now()
+			est, perr := stream.Push(cs)
+			if perr == nil {
+				s.metrics.Estimate(time.Since(start))
+				if !streaming {
+					w.Header().Set("Content-Type", "application/x-ndjson")
+					streaming = true
+				}
+				enc.Encode(wireEstimate{
+					TimeNs:    est.TimeNs,
+					InstantW:  est.InstantW,
+					SmoothedW: est.SmoothedW,
+					TotalJ:    est.TotalJoules,
+					Samples:   est.Samples,
+				})
+				rc.Flush()
+				continue
+			}
+			reason, err = classifyPushError(perr), perr
+		}
+		// Rejected sample: the estimator state is untouched (core
+		// validates before mutating). Before any output this is an
+		// HTTP-level rejection; mid-stream it becomes an NDJSON error
+		// record and the stream continues.
+		s.metrics.Reject(reason)
+		if !streaming {
+			writeError(w, http.StatusBadRequest, reason, err)
+			return
+		}
+		enc.Encode(wireError{Error: err.Error(), Reason: reason})
+		rc.Flush()
+	}
+	if err := sc.Err(); err != nil {
+		reason := ReasonParse
+		if errors.Is(err, bufio.ErrTooLong) {
+			reason = ReasonOversized
+		}
+		s.metrics.Reject(reason)
+		if !streaming {
+			writeError(w, http.StatusBadRequest, reason, fmt.Errorf("serve: reading stream: %w", err))
+			return
+		}
+		enc.Encode(wireError{Error: err.Error(), Reason: reason})
+	}
+	if !streaming {
+		// Empty body: report the session totals (zero for a fresh
+		// session) rather than an empty 200 with no content type.
+		joules, samples := stream.Totals()
+		writeJSON(w, http.StatusOK, struct {
+			Samples uint64  `json:"samples"`
+			TotalJ  float64 `json:"total_j"`
+		}{Samples: samples, TotalJ: joules})
+	}
+}
+
+// --- conversion and validation ---------------------------------------
+
+// parseSample decodes one NDJSON line and resolves event names. Rate
+// semantics (finite, non-negative, covering the model's events) are
+// the estimator's to enforce; this layer rejects what the estimator
+// cannot see: unparseable JSON and unknown event names.
+func parseSample(line []byte, m *core.Model) (core.CounterSample, string, error) {
+	var ws wireSample
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ws); err != nil {
+		return core.CounterSample{}, ReasonParse, fmt.Errorf("serve: decoding sample: %w", err)
+	}
+	rates := make(map[pmu.EventID]float64, len(ws.Rates))
+	for name, v := range ws.Rates {
+		ev, err := pmu.ByName(name)
+		if err != nil {
+			return core.CounterSample{}, ReasonUnknownEv, fmt.Errorf("serve: sample references unknown event %q", name)
+		}
+		rates[ev.ID] = v
+	}
+	return core.CounterSample{
+		TimeNs:   ws.TimeNs,
+		FreqMHz:  ws.FreqMHz,
+		VoltageV: ws.VoltageV,
+		Rates:    rates,
+	}, "", nil
+}
+
+// convertRow maps a wire row to an acquisition.Row, enforcing the
+// same validity rules the streaming path gets from the estimator.
+func convertRow(wr wireRow, m *core.Model) (*acquisition.Row, string, error) {
+	if wr.FreqMHz <= 0 || !(wr.VoltageV > 0) || math.IsInf(wr.VoltageV, 0) {
+		return nil, ReasonBadOperPt, fmt.Errorf("invalid operating point (freq %d MHz, voltage %v V)", wr.FreqMHz, wr.VoltageV)
+	}
+	rates := make(map[pmu.EventID]float64, len(wr.Rates))
+	for name, v := range wr.Rates {
+		ev, err := pmu.ByName(name)
+		if err != nil {
+			return nil, ReasonUnknownEv, fmt.Errorf("unknown event %q", name)
+		}
+		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+			return nil, ReasonBadRate, fmt.Errorf("invalid rate %v for event %s", v, name)
+		}
+		rates[ev.ID] = v
+	}
+	for _, id := range m.Events {
+		if _, ok := rates[id]; !ok {
+			return nil, ReasonMissingEv, fmt.Errorf("missing model event %s", pmu.Lookup(id).Name)
+		}
+	}
+	return &acquisition.Row{FreqMHz: wr.FreqMHz, VoltageV: wr.VoltageV, Rates: rates}, "", nil
+}
+
+// classifyPushError maps a core.OnlineEstimator rejection to its
+// metrics reason.
+func classifyPushError(err error) string {
+	switch {
+	case errors.Is(err, core.ErrOutOfOrder):
+		return ReasonOutOfOrder
+	case errors.Is(err, core.ErrMissingEvent):
+		return ReasonMissingEv
+	case errors.Is(err, core.ErrBadRate):
+		return ReasonBadRate
+	case errors.Is(err, core.ErrBadOperatingPoint):
+		return ReasonBadOperPt
+	}
+	return ReasonParse
+}
+
+// --- response helpers ------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, reason string, err error) {
+	writeJSON(w, status, wireError{Error: err.Error(), Reason: reason})
+}

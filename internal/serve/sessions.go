@@ -1,0 +1,142 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"pmcpower/internal/core"
+)
+
+// httpError pairs an error with the HTTP status and metrics reason it
+// should surface as at the request boundary.
+type httpError struct {
+	status int
+	reason string
+	err    error
+}
+
+func (e *httpError) Error() string { return e.err.Error() }
+
+// sessionKey identifies one client estimator stream: the model key it
+// was opened against and the client-chosen session id.
+type sessionKey struct {
+	model string
+	id    string
+}
+
+// session is one live estimator state. The stream arithmetic lives in
+// core.StreamSession (which has its own lock); busy/lastUse are
+// bookkeeping guarded by the manager's lock.
+type session struct {
+	stream *core.StreamSession
+	alpha  float64
+	// busy marks an NDJSON stream currently attached — the per-session
+	// backpressure limit is one concurrent stream, so two clients
+	// cannot interleave one EWMA timeline.
+	busy    bool
+	lastUse time.Time
+}
+
+// sessionManager owns the session table: get-or-create with a global
+// capacity cap, single-stream-per-session backpressure, and idle
+// eviction.
+type sessionManager struct {
+	mu       sync.Mutex
+	sessions map[sessionKey]*session
+	max      int
+	ttl      time.Duration
+	now      func() time.Time
+	metrics  *Metrics
+}
+
+func newSessionManager(max int, ttl time.Duration, now func() time.Time, m *Metrics) *sessionManager {
+	return &sessionManager{
+		sessions: make(map[sessionKey]*session),
+		max:      max,
+		ttl:      ttl,
+		now:      now,
+		metrics:  m,
+	}
+}
+
+// acquire returns the session for key, creating it (with the given
+// model and alpha) on first use, and marks it busy until release.
+func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64) (*session, *httpError) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	s, ok := sm.sessions[key]
+	if !ok {
+		if len(sm.sessions) >= sm.max {
+			sm.metrics.Reject(ReasonSessionCap)
+			return nil, &httpError{
+				status: http.StatusTooManyRequests,
+				reason: ReasonSessionCap,
+				err:    fmt.Errorf("serve: session limit %d reached", sm.max),
+			}
+		}
+		stream, err := core.NewStreamSession(m, alpha)
+		if err != nil {
+			return nil, &httpError{status: http.StatusBadRequest, reason: ReasonParse, err: err}
+		}
+		s = &session{stream: stream, alpha: alpha}
+		sm.sessions[key] = s
+	} else {
+		if s.busy {
+			sm.metrics.Reject(ReasonSessionBusy)
+			return nil, &httpError{
+				status: http.StatusConflict,
+				reason: ReasonSessionBusy,
+				err:    fmt.Errorf("serve: session %q already has an active stream", key.id),
+			}
+		}
+		if s.alpha != alpha {
+			return nil, &httpError{
+				status: http.StatusBadRequest,
+				reason: ReasonParse,
+				err:    fmt.Errorf("serve: session %q opened with alpha=%v; cannot reopen with alpha=%v", key.id, s.alpha, alpha),
+			}
+		}
+	}
+	s.busy = true
+	s.lastUse = sm.now()
+	return s, nil
+}
+
+// release returns a session acquired by acquire and refreshes its
+// idle clock.
+func (sm *sessionManager) release(key sessionKey) {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if s, ok := sm.sessions[key]; ok {
+		s.busy = false
+		s.lastUse = sm.now()
+	}
+}
+
+// sweep evicts sessions idle longer than the TTL. Busy sessions are
+// never evicted: an attached stream is activity by definition.
+func (sm *sessionManager) sweep(now time.Time) int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	if sm.ttl <= 0 {
+		return 0
+	}
+	var evicted int
+	for key, s := range sm.sessions {
+		if !s.busy && now.Sub(s.lastUse) > sm.ttl {
+			delete(sm.sessions, key)
+			evicted++
+			sm.metrics.Eviction()
+		}
+	}
+	return evicted
+}
+
+// count returns the number of live sessions.
+func (sm *sessionManager) count() int {
+	sm.mu.Lock()
+	defer sm.mu.Unlock()
+	return len(sm.sessions)
+}

@@ -50,6 +50,27 @@ func (c CovEstimator) String() string {
 	}
 }
 
+// ParseCovEstimator is the inverse of CovEstimator.String: it maps the
+// statsmodels-style name back to the enum. An empty string parses to
+// CovClassic (documents written before the estimator was recorded);
+// any other unknown name is an error, so a corrupted or hand-edited
+// model document cannot silently claim provenance it does not have.
+func ParseCovEstimator(s string) (CovEstimator, error) {
+	switch s {
+	case "", "nonrobust":
+		return CovClassic, nil
+	case "HC0":
+		return CovHC0, nil
+	case "HC1":
+		return CovHC1, nil
+	case "HC2":
+		return CovHC2, nil
+	case "HC3":
+		return CovHC3, nil
+	}
+	return 0, fmt.Errorf("stats: unknown covariance estimator %q", s)
+}
+
 // ErrDegenerate is returned when an OLS fit has too few observations
 // for its number of regressors, or a rank-deficient design matrix.
 var ErrDegenerate = errors.New("stats: degenerate regression (rank-deficient design or too few observations)")

@@ -253,3 +253,25 @@ func TestEstimatorString(t *testing.T) {
 		t.Fatal("estimator names wrong")
 	}
 }
+
+func TestParseCovEstimator(t *testing.T) {
+	// Every estimator round-trips through its String form.
+	for _, est := range []CovEstimator{CovClassic, CovHC0, CovHC1, CovHC2, CovHC3} {
+		got, err := ParseCovEstimator(est.String())
+		if err != nil {
+			t.Fatalf("parsing %q: %v", est.String(), err)
+		}
+		if got != est {
+			t.Fatalf("round trip %v → %q → %v", est, est.String(), got)
+		}
+	}
+	// Empty means "not recorded" and defaults to the classic estimator.
+	if got, err := ParseCovEstimator(""); err != nil || got != CovClassic {
+		t.Fatalf("empty string parsed to %v, %v", got, err)
+	}
+	for _, bad := range []string{"HC4", "hc3", "robust", "CovEstimator(9)"} {
+		if _, err := ParseCovEstimator(bad); err == nil {
+			t.Fatalf("%q must not parse", bad)
+		}
+	}
+}

@@ -185,6 +185,40 @@ func TestMaxAPE(t *testing.T) {
 	}
 }
 
+func TestAPEDetail(t *testing.T) {
+	// Mixed input: one near-zero actual is skipped, two enter.
+	st, err := APEDetail([]float64{0, 100, 200}, []float64{5, 90, 240})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Used != 2 || st.Skipped != 1 {
+		t.Fatalf("accounting = %+v, want Used=2 Skipped=1", st)
+	}
+	if !almost(st.MAPE, 15, 1e-12) || !almost(st.MaxAPE, 20, 1e-12) {
+		t.Fatalf("MAPE/MaxAPE = %v/%v, want 15/20", st.MAPE, st.MaxAPE)
+	}
+
+	// All-skipped is an explicit error, not a silent NaN.
+	st, err = APEDetail([]float64{0, 1e-12}, []float64{1, 2})
+	if err == nil {
+		t.Fatal("all-skipped input must error")
+	}
+	if st.Skipped != 2 || !math.IsNaN(st.MAPE) || !math.IsNaN(st.MaxAPE) {
+		t.Fatalf("all-skipped stats = %+v", st)
+	}
+
+	// Wrappers agree with the detail form.
+	a := []float64{100, 50, 0}
+	p := []float64{110, 45, 3}
+	st, err = APEDetail(a, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if MAPE(a, p) != st.MAPE || MaxAPE(a, p) != st.MaxAPE {
+		t.Fatal("MAPE/MaxAPE wrappers disagree with APEDetail")
+	}
+}
+
 func TestRMSEAndMAE(t *testing.T) {
 	a := []float64{1, 2, 3}
 	p := []float64{2, 2, 5}

@@ -2,8 +2,10 @@ package trace
 
 import (
 	"bytes"
+	"encoding/binary"
 	"errors"
 	"io"
+	"strings"
 	"testing"
 
 	"pmcpower/internal/rng"
@@ -80,6 +82,42 @@ func TestReaderSurvivesCorruptedValidTrace(t *testing.T) {
 				}
 			}
 		}()
+	}
+}
+
+// TestReaderRejectsHugeDefinitionCounts: the definition counts are
+// attacker-controlled uvarints that size append loops; a hostile
+// archive declaring 2^62 locations must be rejected with a descriptive
+// error before the reader allocates anything proportional to the
+// claim, not after grinding through EOF.
+func TestReaderRejectsHugeDefinitionCounts(t *testing.T) {
+	uv := func(v uint64) []byte {
+		var buf [binary.MaxVarintLen64]byte
+		return buf[:binary.PutUvarint(buf[:], v)]
+	}
+	huge := uint64(1) << 62
+	cases := map[string][]byte{
+		// Count fields beyond MaxDefinitions in each of the three slots.
+		"locations": append([]byte(Magic), uv(huge)...),
+		"regions":   append(append([]byte(Magic), uv(0)...), uv(huge)...),
+		"metrics":   append(append(append([]byte(Magic), uv(0)...), uv(0)...), uv(huge)...),
+		// Just past the limit must also be rejected.
+		"limit+1": append([]byte(Magic), uv(MaxDefinitions+1)...),
+	}
+	for name, buf := range cases {
+		_, err := NewReader(bytes.NewReader(buf))
+		if err == nil {
+			t.Fatalf("%s: huge definition count must be rejected", name)
+		}
+		if !strings.Contains(err.Error(), "limit") {
+			t.Fatalf("%s: error %q does not describe the definition limit", name, err)
+		}
+	}
+	// The limit itself is about the count claim, not real content: a
+	// truthful archive with zero definitions still opens.
+	ok := append(append(append([]byte(Magic), uv(0)...), uv(0)...), uv(0)...)
+	if _, err := NewReader(bytes.NewReader(ok)); err != nil {
+		t.Fatalf("empty definition sections must open: %v", err)
 	}
 }
 

@@ -13,6 +13,16 @@ type Reader struct {
 	defs Definitions
 }
 
+// MaxDefinitions bounds each definition count (locations, regions,
+// metrics) an archive may declare. The counts are attacker-controlled
+// uvarints that size append loops, so without a bound a corrupt or
+// hostile archive can demand gigabytes of allocations before the
+// decoder ever hits EOF. Real archives hold one location per core and
+// a few dozen regions/metrics; 1<<20 is comfortably above any
+// legitimate trace while keeping the worst-case pre-validation
+// allocation small.
+const MaxDefinitions = 1 << 20
+
 // NewReader opens an archive from r, reading the definition section
 // eagerly.
 func NewReader(r io.Reader) (*Reader, error) {
@@ -30,6 +40,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading location count: %w", err)
 	}
+	if nLoc > MaxDefinitions {
+		return nil, fmt.Errorf("trace: archive declares %d locations (limit %d); corrupt or hostile definition section", nLoc, MaxDefinitions)
+	}
 	for i := uint64(0); i < nLoc; i++ {
 		name, err := d.str()
 		if err != nil {
@@ -41,6 +54,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading region count: %w", err)
 	}
+	if nReg > MaxDefinitions {
+		return nil, fmt.Errorf("trace: archive declares %d regions (limit %d); corrupt or hostile definition section", nReg, MaxDefinitions)
+	}
 	for i := uint64(0); i < nReg; i++ {
 		name, err := d.str()
 		if err != nil {
@@ -51,6 +67,9 @@ func NewReader(r io.Reader) (*Reader, error) {
 	nMet, err := d.uvarint()
 	if err != nil {
 		return nil, fmt.Errorf("trace: reading metric count: %w", err)
+	}
+	if nMet > MaxDefinitions {
+		return nil, fmt.Errorf("trace: archive declares %d metrics (limit %d); corrupt or hostile definition section", nMet, MaxDefinitions)
 	}
 	for i := uint64(0); i < nMet; i++ {
 		name, err := d.str()
