@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench report examples clean
+.PHONY: all build vet test race verify bench report examples trace-demo clean
 
 all: build vet test
 
@@ -39,6 +39,12 @@ examples:
 	$(GO) run ./examples/unseen_workloads
 	$(GO) run ./examples/online_monitor
 	$(GO) run ./examples/percore_power
+
+# Run the full pipeline with span tracing enabled and validate the
+# exported Chrome trace JSON (open trace-demo.json in Perfetto).
+trace-demo:
+	$(GO) run ./cmd/powermodel -counters 3 -folds 5 -j 2 -trace trace-demo.json
+	$(GO) run ./cmd/tracecheck -require powermodel,acquire,selection,fit,cv,cv-fold,parallel.worker trace-demo.json
 
 # The outputs recorded in the repository.
 outputs:

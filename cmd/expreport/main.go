@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	expreport [-exp id] [-seed n] [-j n]
+//	expreport [-exp id] [-seed n] [-j n] [-trace out.json] [-log-level level]
 //
 // With no -exp flag every experiment is printed in order. Valid ids:
 // table1, fig2, table2, fig3, fig4, fig5a, fig5b, table3, fig6,
@@ -13,22 +13,39 @@
 // -j bounds the worker parallelism of the modeling pipeline and of
 // the experiment fan-out (0 = all cores, 1 = serial). The output is
 // bit-identical at every setting.
+//
+// -trace writes a Chrome trace_event JSON timeline of the run — one
+// "exp:<id>" span per experiment in its worker's lane, with the
+// modeling pipeline's spans nested inside — loadable in
+// chrome://tracing or https://ui.perfetto.dev. Tracing does not
+// change the printed reports.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"pmcpower/internal/experiments"
+	"pmcpower/internal/obs"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment to run (table1, fig2, table2, fig3, fig4, fig5a, fig5b, table3, fig6, table4, seventh, ablations, baselines, strategies, transform, hetero, stability, crossplatform, all)")
 	seed := flag.Uint64("seed", 0, "override the acquisition seed (0 = canonical)")
 	par := flag.Int("j", 0, "worker parallelism (0 = all cores, 1 = serial)")
+	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
+	logLevel := flag.String("log-level", "warn", "log level for progress records: debug, info, warn, error")
 	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "expreport:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
 
 	cfg := experiments.DefaultConfig()
 	if *seed != 0 {
@@ -37,9 +54,28 @@ func main() {
 	cfg.Parallelism = *par
 	ctx := experiments.NewContext(cfg)
 
+	var tracer *obs.Tracer
+	if *tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	runCtx := obs.ContextWithTracer(context.Background(), tracer)
+	runCtx, rootSpan := tracer.StartSpan(runCtx, "expreport", obs.String("exp", *exp))
+
+	writeTrace := func() {
+		rootSpan.End()
+		if *tracePath == "" {
+			return
+		}
+		if err := tracer.WriteChromeTraceFile(*tracePath); err != nil {
+			fmt.Fprintln(os.Stderr, "expreport:", err)
+			os.Exit(1)
+		}
+		logger.Info("trace written", "path", *tracePath, "spans", tracer.Len())
+	}
+
 	want := strings.ToLower(*exp)
 	if want == "all" {
-		rendered, err := ctx.RunAll(*par)
+		rendered, err := ctx.RunAllCtx(runCtx, *par)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expreport: %v\n", err)
 			os.Exit(1)
@@ -47,6 +83,7 @@ func main() {
 		for _, r := range rendered {
 			fmt.Printf("=== %s ===\n%s\n", r.Desc, r.Output)
 		}
+		writeTrace()
 		return
 	}
 
@@ -54,12 +91,15 @@ func main() {
 		if want != r.ID {
 			continue
 		}
+		_, span := tracer.StartSpan(runCtx, "exp:"+r.ID, obs.String("desc", r.Desc))
 		out, err := r.Render()
+		span.End()
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "expreport: %s: %v\n", r.ID, err)
 			os.Exit(1)
 		}
 		fmt.Printf("=== %s ===\n%s\n", r.Desc, out)
+		writeTrace()
 		return
 	}
 	fmt.Fprintf(os.Stderr, "expreport: unknown experiment %q\n", *exp)

@@ -14,12 +14,18 @@
 //	GET  /v1/models             registered models (name, version, events, R²)
 //	POST /v1/predict            batch prediction over JSON rows
 //	POST /v1/estimate           streaming NDJSON estimation
-//	GET  /metrics               text metrics (requests, sessions, rejects, latency)
+//	GET  /metrics               Prometheus text metrics (shared obs registry)
 //
 // /v1/estimate reads one JSON counter sample per line and writes one
 // estimate per line; ?session=ID keeps estimator state across
 // requests, ?alpha=0.3 sets the EWMA factor, ?model=name@2 pins a
 // model version.
+//
+// Observability: logs are structured JSON on stderr (-log-level
+// debug|info|warn|error). With -debug-addr a second, private listener
+// serves net/http/pprof under /debug/pprof/, the request-span dump as
+// Chrome trace JSON under /debug/trace, and the metrics exposition
+// under /debug/metrics — profiling never shares the public port.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -35,6 +42,7 @@ import (
 
 	"pmcpower/internal/acquisition"
 	"pmcpower/internal/core"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/serve"
 	"pmcpower/internal/workloads"
@@ -45,6 +53,8 @@ func main() {
 	flag.Func("model", "trained model JSON to serve (repeatable; registered under its base name)",
 		func(p string) error { modelPaths = append(modelPaths, p); return nil })
 	addr := flag.String("addr", ":9120", "listen address")
+	debugAddr := flag.String("debug-addr", "", "private listener for pprof, /debug/trace and /debug/metrics (empty = disabled)")
+	logLevel := flag.String("log-level", "info", "log level: debug, info, warn, error")
 	selfcal := flag.Bool("selfcal", false, "calibrate a model on the simulated platform at startup (registered as \"default\")")
 	seed := flag.Uint64("seed", 42, "calibration seed for -selfcal")
 	alpha := flag.Float64("alpha", 1, "default EWMA smoothing factor for streams that do not pass ?alpha=")
@@ -52,49 +62,71 @@ func main() {
 	maxSessions := flag.Int("max-sessions", 1024, "cap on concurrent estimator sessions")
 	flag.Parse()
 
-	if err := run(modelPaths, *addr, *selfcal, *seed, *alpha, *idleTTL, *maxSessions); err != nil {
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, "pmcpowerd:", err)
+		os.Exit(2)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	if err := run(logger, modelPaths, *addr, *debugAddr, *selfcal, *seed, *alpha, *idleTTL, *maxSessions); err != nil {
+		logger.Error("fatal", "err", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(modelPaths []string, addr string, selfcal bool, seed uint64, alpha float64, idleTTL time.Duration, maxSessions int) error {
+func run(logger *slog.Logger, modelPaths []string, addr, debugAddr string, selfcal bool, seed uint64, alpha float64, idleTTL time.Duration, maxSessions int) error {
+	start := time.Now()
 	reg := serve.NewRegistry()
 	for _, p := range modelPaths {
 		name, version, err := reg.LoadFile(p)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "loaded %s as %s@%d\n", p, name, version)
+		logger.Info("model loaded", "path", p, "name", name, "version", version)
 	}
 	if selfcal {
-		m, err := calibrate(seed)
+		m, err := calibrate(logger, seed)
 		if err != nil {
 			return fmt.Errorf("self-calibration: %w", err)
 		}
 		if _, err := reg.Add("default", m); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "self-calibrated model registered as default@1: %s\n", m)
+		logger.Info("self-calibrated model registered", "name", "default", "version", 1, "model", m.String())
 	}
 	if len(reg.List()) == 0 {
 		return errors.New("no models: pass -model model.json (train one with `estimate -train model.json`) or -selfcal")
 	}
 
+	tracer := obs.NewTracer()
 	srv := serve.New(serve.Config{
 		Registry:     reg,
 		DefaultAlpha: alpha,
 		IdleTTL:      idleTTL,
 		MaxSessions:  maxSessions,
+		Obs:          obs.Default(),
+		Logger:       logger,
+		Tracer:       tracer,
 	})
 	defer srv.Close()
 
 	httpSrv := &http.Server{Addr: addr, Handler: srv.Handler()}
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() {
-		fmt.Fprintf(os.Stderr, "listening on %s\n", addr)
+		logger.Info("listening", "addr", addr)
 		errc <- httpSrv.ListenAndServe()
 	}()
+
+	var debugSrv *http.Server
+	if debugAddr != "" {
+		debugSrv = &http.Server{Addr: debugAddr, Handler: obs.DebugMux(tracer, obs.Default())}
+		go func() {
+			logger.Info("debug listener", "addr", debugAddr)
+			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
@@ -103,19 +135,26 @@ func run(modelPaths []string, addr string, selfcal bool, seed uint64, alpha floa
 		return err
 	case <-ctx.Done():
 	}
-	fmt.Fprintln(os.Stderr, "shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
 	defer cancel()
+	if debugSrv != nil {
+		debugSrv.Shutdown(shutdownCtx)
+	}
 	if err := httpSrv.Shutdown(shutdownCtx); err != nil {
 		return fmt.Errorf("shutdown: %w", err)
 	}
+	logger.Info("shutdown complete",
+		"uptime_s", time.Since(start).Seconds(),
+		"requests_served", srv.Metrics().TotalRequests(),
+		"request_spans", tracer.Len())
 	return nil
 }
 
 // calibrate trains a six-counter model on the simulated platform —
 // the same selection-then-training flow as `estimate -train`, for
 // serving without a pre-trained document.
-func calibrate(seed uint64) (*core.Model, error) {
+func calibrate(logger *slog.Logger, seed uint64) (*core.Model, error) {
 	selDS, err := acquisition.Acquire(acquisition.Options{Seed: seed}, workloads.Active(), []int{2400})
 	if err != nil {
 		return nil, err
@@ -125,7 +164,7 @@ func calibrate(seed uint64) (*core.Model, error) {
 		return nil, err
 	}
 	events := core.Events(steps)
-	fmt.Fprintf(os.Stderr, "selected counters: %v\n", pmu.ShortNames(events))
+	logger.Info("selected counters", "events", pmu.ShortNames(events))
 	full, err := acquisition.Acquire(acquisition.Options{Seed: seed, Events: events},
 		workloads.Active(), []int{1200, 1600, 2000, 2400, 2600})
 	if err != nil {

@@ -7,52 +7,99 @@
 // Usage:
 //
 //	powermodel [-seed n] [-counters k] [-folds k] [-j n] [-verbose]
+//	           [-trace out.json] [-log-level level]
 //
 // -j bounds the worker parallelism of acquisition, selection and
 // cross validation (0 = all cores, 1 = serial); the results are
 // bit-identical at every setting.
+//
+// -trace writes a Chrome trace_event JSON timeline of the whole run
+// (acquisition cells, selection rounds, VIF regressions, the final
+// fit, every CV fold, and the parallel workers' lanes) — open it in
+// chrome://tracing or https://ui.perfetto.dev. Tracing records wall
+// time into a side buffer only: the printed results are bit-identical
+// with and without -trace (a test asserts this).
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
+	"log/slog"
 	"os"
 
 	"pmcpower/internal/acquisition"
 	"pmcpower/internal/core"
 	"pmcpower/internal/cpusim"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/workloads"
 )
 
+// runConfig bundles the CLI knobs so the e2e test can drive small
+// runs through the exact code path the binary uses.
+type runConfig struct {
+	seed      uint64
+	nCounters int
+	folds     int
+	par       int
+	verbose   bool
+	tracePath string
+	logger    *slog.Logger
+}
+
 func main() {
-	seed := flag.Uint64("seed", 42, "acquisition seed")
-	nCounters := flag.Int("counters", 6, "number of PMC events to select")
-	folds := flag.Int("folds", 10, "cross-validation folds")
-	par := flag.Int("j", 0, "worker parallelism (0 = all cores, 1 = serial)")
-	verbose := flag.Bool("verbose", false, "print per-fold and per-workload detail")
+	var cfg runConfig
+	flag.Uint64Var(&cfg.seed, "seed", 42, "acquisition seed")
+	flag.IntVar(&cfg.nCounters, "counters", 6, "number of PMC events to select")
+	flag.IntVar(&cfg.folds, "folds", 10, "cross-validation folds")
+	flag.IntVar(&cfg.par, "j", 0, "worker parallelism (0 = all cores, 1 = serial)")
+	flag.BoolVar(&cfg.verbose, "verbose", false, "print per-fold and per-workload detail")
+	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
+	logLevel := flag.String("log-level", "warn", "log level for pipeline progress records: debug, info, warn, error")
 	flag.Parse()
 
-	if err := run(*seed, *nCounters, *folds, *par, *verbose); err != nil {
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "powermodel:", err)
+		os.Exit(2)
+	}
+	cfg.logger = obs.NewLogger(os.Stderr, level)
+
+	if err := run(cfg, os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "powermodel:", err)
 		os.Exit(1)
 	}
 }
 
-func run(seed uint64, nCounters, folds, par int, verbose bool) error {
+func run(cfg runConfig, out io.Writer) error {
+	logger := cfg.logger
+	if logger == nil {
+		logger = obs.NewLogger(io.Discard, slog.LevelError)
+	}
+	var tracer *obs.Tracer
+	if cfg.tracePath != "" {
+		tracer = obs.NewTracer()
+	}
+	ctx := obs.ContextWithTracer(context.Background(), tracer)
+	ctx, rootSpan := tracer.StartSpan(ctx, "powermodel",
+		obs.Int("counters", cfg.nCounters), obs.Int("folds", cfg.folds))
+
 	platform := cpusim.HaswellEP()
-	fmt.Printf("platform: %s (%d cores, P-states %v MHz)\n",
+	fmt.Fprintf(out, "platform: %s (%d cores, P-states %v MHz)\n",
 		platform.Name, platform.TotalCores(), platform.Frequencies())
 
 	active := workloads.Active()
-	fmt.Printf("workloads: %d active (%d synthetic, %d SPEC proxies)\n",
+	fmt.Fprintf(out, "workloads: %d active (%d synthetic, %d SPEC proxies)\n",
 		len(active), len(workloads.ActiveByClass(workloads.Synthetic)), len(workloads.ActiveByClass(workloads.SPEC)))
 
 	// Step 1: acquisition at the selection frequency with all 54
 	// counters (multiplexed over multiple runs per workload).
 	const selFreq = 2400
-	fmt.Printf("\n[1/4] acquiring all %d counters at %d MHz...\n", pmu.NumEvents(), selFreq)
-	selDS, err := acquisition.Acquire(acquisition.Options{Seed: seed, Parallelism: par}, active, []int{selFreq})
+	fmt.Fprintf(out, "\n[1/4] acquiring all %d counters at %d MHz...\n", pmu.NumEvents(), selFreq)
+	logger.Info("acquisition start", "stage", "selection", "freq_mhz", selFreq)
+	selDS, err := acquisition.AcquireCtx(ctx, acquisition.Options{Seed: cfg.seed, Parallelism: cfg.par}, active, []int{selFreq})
 	if err != nil {
 		return err
 	}
@@ -60,11 +107,12 @@ func run(seed uint64, nCounters, folds, par int, verbose bool) error {
 	if err != nil {
 		return err
 	}
-	fmt.Printf("      %d experiments, %d multiplexed runs per workload\n", len(selDS.Rows), len(plan))
+	fmt.Fprintf(out, "      %d experiments, %d multiplexed runs per workload\n", len(selDS.Rows), len(plan))
 
 	// Step 2: Algorithm 1.
-	fmt.Printf("\n[2/4] selecting %d PMC events (Algorithm 1)...\n", nCounters)
-	steps, err := core.SelectEvents(selDS.Rows, core.SelectOptions{Count: nCounters, Parallelism: par})
+	fmt.Fprintf(out, "\n[2/4] selecting %d PMC events (Algorithm 1)...\n", cfg.nCounters)
+	logger.Info("selection start", "count", cfg.nCounters)
+	steps, err := core.SelectEventsCtx(ctx, selDS.Rows, core.SelectOptions{Count: cfg.nCounters, Parallelism: cfg.par})
 	if err != nil {
 		return err
 	}
@@ -73,7 +121,7 @@ func run(seed uint64, nCounters, folds, par int, verbose bool) error {
 		if i > 0 {
 			vif = fmt.Sprintf("%.3f", s.MeanVIF)
 		}
-		fmt.Printf("      %d. %-8s R²=%.3f Adj.R²=%.3f meanVIF=%s\n",
+		fmt.Fprintf(out, "      %d. %-8s R²=%.3f Adj.R²=%.3f meanVIF=%s\n",
 			i+1, pmu.Lookup(s.Event).Short, s.R2, s.AdjR2, vif)
 	}
 	events := core.Events(steps)
@@ -82,7 +130,8 @@ func run(seed uint64, nCounters, folds, par int, verbose bool) error {
 	// counters (plus the fixed cycle counter the rate normalization
 	// needs).
 	freqs := platform.Frequencies()
-	fmt.Printf("\n[3/4] acquiring selected counters at %v MHz...\n", freqs)
+	fmt.Fprintf(out, "\n[3/4] acquiring selected counters at %v MHz...\n", freqs)
+	logger.Info("acquisition start", "stage", "full", "frequencies", len(freqs))
 	evAcq := events
 	cyc := pmu.MustByName("TOT_CYC").ID
 	haveCyc := false
@@ -94,21 +143,22 @@ func run(seed uint64, nCounters, folds, par int, verbose bool) error {
 	if !haveCyc {
 		evAcq = append(append([]pmu.EventID(nil), events...), cyc)
 	}
-	fullDS, err := acquisition.Acquire(acquisition.Options{Seed: seed, Events: evAcq, Parallelism: par}, active, freqs)
+	fullDS, err := acquisition.AcquireCtx(ctx, acquisition.Options{Seed: cfg.seed, Events: evAcq, Parallelism: cfg.par}, active, freqs)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("      %d experiments\n", len(fullDS.Rows))
+	fmt.Fprintf(out, "      %d experiments\n", len(fullDS.Rows))
 
 	// Step 4: train and cross-validate.
-	fmt.Printf("\n[4/4] training Equation 1 (OLS + HC3) and running %d-fold CV...\n", folds)
-	model, err := core.Train(fullDS.Rows, events, core.TrainOptions{})
+	fmt.Fprintf(out, "\n[4/4] training Equation 1 (OLS + HC3) and running %d-fold CV...\n", cfg.folds)
+	logger.Info("training start", "rows", len(fullDS.Rows), "events", len(events))
+	model, err := core.TrainCtx(ctx, fullDS.Rows, events, core.TrainOptions{})
 	if err != nil {
 		return err
 	}
-	fmt.Printf("      %s\n", model)
-	if verbose {
-		fmt.Printf("      coefficient table (HC3 standard errors):\n")
+	fmt.Fprintf(out, "      %s\n", model)
+	if cfg.verbose {
+		fmt.Fprintf(out, "      coefficient table (HC3 standard errors):\n")
 		names := append([]string{"delta (const)"}, func() []string {
 			var n []string
 			for _, id := range events {
@@ -117,26 +167,38 @@ func run(seed uint64, nCounters, folds, par int, verbose bool) error {
 			return append(n, "beta (V²f)", "gamma (V)")
 		}()...)
 		for i, name := range names {
-			fmt.Printf("        %-18s %+12.4f ± %.4f (p=%.3g)\n",
+			fmt.Fprintf(out, "        %-18s %+12.4f ± %.4f (p=%.3g)\n",
 				name, model.Fit.Coeffs[i], model.Fit.StdErr[i], model.Fit.PValues[i])
 		}
 	}
 
-	cv, err := core.CrossValidateP(fullDS.Rows, events, folds, seed+7, par)
+	cv, err := core.CrossValidateCtx(ctx, fullDS.Rows, events, cfg.folds, cfg.seed+7, cfg.par)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("\ncross-validation (%d folds):\n", folds)
-	fmt.Printf("      R²    min=%.4f max=%.4f mean=%.4f\n", cv.R2Summary().Min, cv.R2Summary().Max, cv.R2Summary().Mean)
-	fmt.Printf("      AdjR² min=%.4f max=%.4f mean=%.4f\n", cv.AdjR2Summary().Min, cv.AdjR2Summary().Max, cv.AdjR2Summary().Mean)
-	fmt.Printf("      MAPE  min=%.2f%%  max=%.2f%%  mean=%.2f%%\n", cv.MAPESummary().Min, cv.MAPESummary().Max, cv.MAPESummary().Mean)
+	fmt.Fprintf(out, "\ncross-validation (%d folds):\n", cfg.folds)
+	fmt.Fprintf(out, "      R²    min=%.4f max=%.4f mean=%.4f\n", cv.R2Summary().Min, cv.R2Summary().Max, cv.R2Summary().Mean)
+	fmt.Fprintf(out, "      AdjR² min=%.4f max=%.4f mean=%.4f\n", cv.AdjR2Summary().Min, cv.AdjR2Summary().Max, cv.AdjR2Summary().Mean)
+	fmt.Fprintf(out, "      MAPE  min=%.2f%%  max=%.2f%%  mean=%.2f%%\n", cv.MAPESummary().Min, cv.MAPESummary().Max, cv.MAPESummary().Mean)
 
-	if verbose {
-		fmt.Println("\nper-workload MAPE across all DVFS states:")
+	if cfg.verbose {
+		fmt.Fprintln(out, "\nper-workload MAPE across all DVFS states:")
 		perWL := cv.PerWorkloadMAPE()
 		for _, w := range fullDS.Workloads() {
-			fmt.Printf("      %-16s %6.2f%%\n", w, perWL[w])
+			fmt.Fprintf(out, "      %-16s %6.2f%%\n", w, perWL[w])
 		}
+	}
+
+	rootSpan.End()
+	// The trace note goes to the structured log, not to out: stdout
+	// must stay bit-identical with and without -trace (the e2e test
+	// compares the two byte-for-byte).
+	if cfg.tracePath != "" {
+		if err := tracer.WriteChromeTraceFile(cfg.tracePath); err != nil {
+			return err
+		}
+		logger.Info("trace written", "path", cfg.tracePath, "spans", tracer.Len(),
+			"viewer", "chrome://tracing or ui.perfetto.dev")
 	}
 	return nil
 }

@@ -1,0 +1,71 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestTraceEndToEnd runs the full pipeline twice — tracing off, then
+// tracing on — through the same run() the binary uses, and asserts
+// (1) stdout is bit-identical, i.e. span emission stays off the
+// determinism-critical path, and (2) the emitted Chrome trace JSON
+// parses and contains the spans the timeline is supposed to show:
+// selection, the final fit, and one cv-fold per fold.
+func TestTraceEndToEnd(t *testing.T) {
+	const folds = 4
+	base := runConfig{seed: 42, nCounters: 2, folds: folds, par: 2}
+
+	var plain bytes.Buffer
+	if err := run(base, &plain); err != nil {
+		t.Fatalf("run without trace: %v", err)
+	}
+
+	tracePath := filepath.Join(t.TempDir(), "out.json")
+	traced := base
+	traced.tracePath = tracePath
+	var withTrace bytes.Buffer
+	if err := run(traced, &withTrace); err != nil {
+		t.Fatalf("run with trace: %v", err)
+	}
+
+	if !bytes.Equal(plain.Bytes(), withTrace.Bytes()) {
+		t.Errorf("output differs with tracing enabled:\n--- off ---\n%s--- on ---\n%s",
+			plain.String(), withTrace.String())
+	}
+
+	data, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	counts := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Phase == "X" {
+			counts[ev.Name]++
+		}
+	}
+	for _, want := range []string{"powermodel", "acquire", "acquire.cell", "selection", "selection.round", "fit", "cv", "cv-fold", "parallel.worker"} {
+		if counts[want] == 0 {
+			t.Errorf("trace lacks %q spans; have %v", want, counts)
+		}
+	}
+	if counts["cv-fold"] != folds {
+		t.Errorf("trace has %d cv-fold spans, want %d", counts["cv-fold"], folds)
+	}
+	// Two campaigns: selection-frequency and full-DVFS.
+	if counts["acquire"] != 2 {
+		t.Errorf("trace has %d acquire spans, want 2", counts["acquire"])
+	}
+}

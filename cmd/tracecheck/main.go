@@ -1,0 +1,86 @@
+// Command tracecheck validates a Chrome trace_event JSON file
+// produced by the -trace flag of powermodel/expreport (or dumped from
+// pmcpowerd's /debug/trace): it parses the file, counts the span
+// events, and optionally asserts that named spans are present.
+//
+// Usage:
+//
+//	tracecheck [-require name,name,...] trace.json
+//
+// Exit status 0 when the file is valid JSON in the trace_event format
+// with at least one span and every required name present; non-zero
+// otherwise. `make trace-demo` and CI use it to gate trace output.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+)
+
+func main() {
+	require := flag.String("require", "", "comma-separated span names that must appear in the trace")
+	flag.Parse()
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name,...] trace.json")
+		os.Exit(2)
+	}
+	if err := check(flag.Arg(0), *require); err != nil {
+		fmt.Fprintln(os.Stderr, "tracecheck:", err)
+		os.Exit(1)
+	}
+}
+
+func check(path, require string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var tr struct {
+		TraceEvents []struct {
+			Name  string `json:"name"`
+			Phase string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &tr); err != nil {
+		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
+	}
+	spans := make(map[string]int)
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase == "X" {
+			spans[ev.Name]++
+		}
+	}
+	if len(spans) == 0 {
+		return fmt.Errorf("%s: no span events", path)
+	}
+	if require != "" {
+		var missing []string
+		for _, name := range strings.Split(require, ",") {
+			name = strings.TrimSpace(name)
+			if name != "" && spans[name] == 0 {
+				missing = append(missing, name)
+			}
+		}
+		if len(missing) > 0 {
+			return fmt.Errorf("%s: missing required spans %v", path, missing)
+		}
+	}
+	names := make([]string, 0, len(spans))
+	for n := range spans {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	total := 0
+	for _, n := range names {
+		total += spans[n]
+	}
+	fmt.Printf("%s: %d spans, %d distinct names\n", path, total, len(names))
+	for _, n := range names {
+		fmt.Printf("  %6d  %s\n", spans[n], n)
+	}
+	return nil
+}

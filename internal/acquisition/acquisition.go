@@ -23,6 +23,7 @@ import (
 
 	"pmcpower/internal/cpusim"
 	"pmcpower/internal/metricplugin"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/parallel"
 	"pmcpower/internal/phaseprofile"
 	"pmcpower/internal/pmu"
@@ -140,6 +141,16 @@ type Dataset struct {
 // frequencies and returns the merged dataset. Excluded workloads are
 // skipped (mirroring the paper's exclusions).
 func Acquire(opts Options, wls []*workloads.Workload, freqsMHz []int) (*Dataset, error) {
+	return AcquireCtx(context.Background(), opts, wls, freqsMHz)
+}
+
+// AcquireCtx is Acquire under a caller context: cancellation stops
+// the campaign between cells, and when the context carries an
+// obs.Tracer the campaign emits an "acquire" span with one
+// "acquire.cell" child per (workload, frequency) pair. Tracing writes
+// timing to a side buffer only — the dataset stays bit-identical with
+// or without a tracer attached.
+func AcquireCtx(ctx context.Context, opts Options, wls []*workloads.Workload, freqsMHz []int) (*Dataset, error) {
 	o := opts.withDefaults()
 	if len(wls) == 0 || len(freqsMHz) == 0 {
 		return nil, fmt.Errorf("acquisition: need at least one workload and one frequency")
@@ -190,12 +201,19 @@ func Acquire(opts Options, wls []*workloads.Workload, freqsMHz []int) (*Dataset,
 		rows   []*Row
 		traces []namedTrace
 	}
+	ctx, acqSpan := obs.FromContext(ctx).StartSpan(ctx, "acquire",
+		obs.Int("cells", len(cells)), obs.Int("frequencies", len(freqsMHz)), obs.Int("events", len(o.Events)))
+	defer acqSpan.End()
+
 	// Every stochastic input of a cell comes from rng streams split
 	// off the campaign seed by a stable (workload, frequency, run)
 	// label, so a cell's output is independent of which worker runs it
 	// and of how many cells run concurrently.
-	results, err := parallel.Map(context.Background(), len(cells), o.Parallelism, func(ci int) (cellResult, error) {
+	results, err := parallel.MapCtx(ctx, len(cells), o.Parallelism, func(ctx context.Context, ci int) (cellResult, error) {
 		w, f := cells[ci].w, cells[ci].f
+		_, cellSpan := obs.FromContext(ctx).StartSpan(ctx, "acquire.cell",
+			obs.String("workload", w.Name), obs.Int("freq_mhz", f))
+		defer cellSpan.End()
 		var res cellResult
 		runProfiles := make([][]*phaseprofile.Phase, 0, len(plan))
 		for runIdx, set := range plan {

@@ -1,10 +1,12 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/stats"
 )
@@ -40,6 +42,17 @@ type TrainOptions struct {
 // not depend on the HCSE estimator choice; standard errors and p-values
 // do.
 func Train(rows []*acquisition.Row, events []pmu.EventID, opts TrainOptions) (*Model, error) {
+	return TrainCtx(context.Background(), rows, events, opts)
+}
+
+// TrainCtx is Train under a caller context: when ctx carries an
+// obs.Tracer the fit emits a "fit" span (rows, events, and the
+// resulting R² as attributes). The numeric path is untouched — the
+// fitted model is bit-identical with or without a tracer.
+func TrainCtx(ctx context.Context, rows []*acquisition.Row, events []pmu.EventID, opts TrainOptions) (*Model, error) {
+	_, span := obs.FromContext(ctx).StartSpan(ctx, "fit",
+		obs.Int("rows", len(rows)), obs.Int("events", len(events)))
+	defer span.End()
 	x, y, err := DesignMatrix(rows, events)
 	if err != nil {
 		return nil, err
@@ -52,6 +65,7 @@ func Train(rows []*acquisition.Row, events []pmu.EventID, opts TrainOptions) (*M
 	if err != nil {
 		return nil, fmt.Errorf("core: training failed for events %v: %w", pmu.ShortNames(events), err)
 	}
+	span.SetAttr(obs.Float("r2", fit.R2))
 	k := len(events)
 	m := &Model{
 		Events: append([]pmu.EventID(nil), events...),

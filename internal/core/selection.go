@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/parallel"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/stats"
@@ -54,6 +55,16 @@ type SelectOptions struct {
 // bookkeeping after each addition. The returned steps are in selection
 // order (the order of the paper's Tables I and IV).
 func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep, error) {
+	return SelectEventsCtx(context.Background(), rows, opts)
+}
+
+// SelectEventsCtx is SelectEvents under a caller context: when ctx
+// carries an obs.Tracer, the greedy search emits a "selection" span
+// with one "selection.round" child per iteration (annotated with the
+// winning event) and a "selection.vif" child per VIF computation.
+// Span emission stays off the numeric path, so the selected events
+// are bit-identical with or without a tracer.
+func SelectEventsCtx(ctx context.Context, rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep, error) {
 	if opts.Count < 1 {
 		return nil, fmt.Errorf("core: SelectEvents needs Count >= 1, got %d", opts.Count)
 	}
@@ -68,6 +79,11 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 		return nil, fmt.Errorf("core: empty dataset")
 	}
 
+	tracer := obs.FromContext(ctx)
+	ctx, selSpan := tracer.StartSpan(ctx, "selection",
+		obs.Int("count", opts.Count), obs.Int("candidates", len(candidates)))
+	defer selSpan.End()
+
 	selected := make([]pmu.EventID, 0, opts.Count)
 	inSelected := make(map[pmu.EventID]bool)
 	var steps []SelectionStep
@@ -77,7 +93,9 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 		inSelected[id] = true
 		step := SelectionStep{Event: id, R2: r2, AdjR2: adjR2, MeanVIF: math.NaN()}
 		if len(selected) >= 2 {
+			_, vifSpan := tracer.StartSpan(ctx, "selection.vif", obs.Int("events", len(selected)))
 			vifs, err := stats.VIFP(RateMatrix(rows, selected), opts.Parallelism)
+			vifSpan.End()
 			if err != nil {
 				// A perfectly collinear addition: report +Inf rather
 				// than failing — the paper's workflow needs to *see*
@@ -114,7 +132,8 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 		ok        bool
 	}
 	for len(selected) < opts.Count {
-		fits, err := parallel.Map(context.Background(), len(candidates), opts.Parallelism, func(ci int) (candFit, error) {
+		rctx, roundSpan := tracer.StartSpan(ctx, "selection.round", obs.Int("round", len(selected)+1))
+		fits, err := parallel.Map(rctx, len(candidates), opts.Parallelism, func(ci int) (candFit, error) {
 			cand := candidates[ci]
 			if inSelected[cand] {
 				return candFit{}, nil
@@ -131,6 +150,7 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 			return candFit{r2: m.R2(), adjR2: m.AdjR2(), ok: true}, nil
 		})
 		if err != nil {
+			roundSpan.End()
 			return nil, err
 		}
 		bestR2 := math.Inf(-1)
@@ -147,9 +167,13 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 			}
 		}
 		if bestEvent < 0 {
+			roundSpan.End()
 			return nil, fmt.Errorf("core: no fittable candidate left after %d selections", len(selected))
 		}
-		if err := appendStep(bestEvent, bestR2, bestAdj); err != nil {
+		err = appendStep(bestEvent, bestR2, bestAdj)
+		roundSpan.SetAttr(obs.String("selected", pmu.Lookup(bestEvent).Short), obs.Float("r2", bestR2))
+		roundSpan.End()
+		if err != nil {
 			return nil, err
 		}
 	}

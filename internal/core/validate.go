@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/parallel"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/rng"
@@ -130,6 +131,16 @@ func CrossValidate(rows []*acquisition.Row, events []pmu.EventID, k int, seed ui
 // predictions are reduced in fold order, so the result is bit-identical
 // at every parallelism level.
 func CrossValidateP(rows []*acquisition.Row, events []pmu.EventID, k int, seed uint64, parallelism int) (*CVResult, error) {
+	return CrossValidateCtx(context.Background(), rows, events, k, seed, parallelism)
+}
+
+// CrossValidateCtx is CrossValidateP under a caller context: when ctx
+// carries an obs.Tracer the validation emits a "cv" span and one
+// "cv-fold" span per fold, each placed in the lane of the worker that
+// ran it (so fold load balance is visible in the exported timeline).
+// Tracing records timing only; the CV result is bit-identical with or
+// without a tracer.
+func CrossValidateCtx(ctx context.Context, rows []*acquisition.Row, events []pmu.EventID, k int, seed uint64, parallelism int) (*CVResult, error) {
 	if len(rows) < k {
 		return nil, fmt.Errorf("core: %d rows cannot form %d folds", len(rows), k)
 	}
@@ -137,15 +148,20 @@ func CrossValidateP(rows []*acquisition.Row, events []pmu.EventID, k int, seed u
 	if err != nil {
 		return nil, fmt.Errorf("core: cross validation: %w", err)
 	}
+	ctx, cvSpan := obs.FromContext(ctx).StartSpan(ctx, "cv",
+		obs.Int("folds", k), obs.Int("rows", len(rows)))
+	defer cvSpan.End()
 	type foldResult struct {
 		cf    CVFold
 		preds []Prediction
 	}
-	results, err := parallel.Map(context.Background(), len(folds), parallelism, func(fi int) (foldResult, error) {
+	results, err := parallel.MapCtx(ctx, len(folds), parallelism, func(ctx context.Context, fi int) (foldResult, error) {
+		ctx, foldSpan := obs.FromContext(ctx).StartSpan(ctx, "cv-fold", obs.Int("fold", fi))
+		defer foldSpan.End()
 		fold := folds[fi]
 		train := subset(rows, fold.Train)
 		test := subset(rows, fold.Test)
-		m, err := Train(train, events, TrainOptions{})
+		m, err := TrainCtx(ctx, train, events, TrainOptions{})
 		if err != nil {
 			return foldResult{}, fmt.Errorf("core: fold %d: %w", fi, err)
 		}

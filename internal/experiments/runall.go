@@ -3,6 +3,7 @@ package experiments
 import (
 	"context"
 
+	"pmcpower/internal/obs"
 	"pmcpower/internal/parallel"
 )
 
@@ -56,8 +57,19 @@ type RenderedExperiment struct {
 // shared dataset and reuse it afterwards — the reports are
 // bit-identical to a serial run.
 func (c *Context) RunAll(parallelism int) ([]RenderedExperiment, error) {
+	return c.RunAllCtx(context.Background(), parallelism)
+}
+
+// RunAllCtx is RunAll under a caller context: when ctx carries an
+// obs.Tracer, every experiment render emits an "exp:<id>" span in the
+// lane of the worker that ran it, so the fan-out's load balance is
+// visible in the exported timeline. The reports are bit-identical
+// with or without a tracer.
+func (c *Context) RunAllCtx(ctx context.Context, parallelism int) ([]RenderedExperiment, error) {
 	regs := c.Renderers()
-	return parallel.Map(context.Background(), len(regs), parallelism, func(i int) (RenderedExperiment, error) {
+	return parallel.MapCtx(ctx, len(regs), parallelism, func(ctx context.Context, i int) (RenderedExperiment, error) {
+		_, span := obs.FromContext(ctx).StartSpan(ctx, "exp:"+regs[i].ID, obs.String("desc", regs[i].Desc))
+		defer span.End()
 		out, err := regs[i].Render()
 		if err != nil {
 			return RenderedExperiment{}, err

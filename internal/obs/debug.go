@@ -1,0 +1,35 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/pprof"
+)
+
+// DebugMux builds the handler pmcpowerd exposes on its private
+// -debug-addr listener: the full net/http/pprof suite under
+// /debug/pprof/, the tracer's span dump as Chrome trace JSON under
+// /debug/trace, and the registry exposition under /debug/metrics.
+// Profiling and span dumps never share the public port — the public
+// mux simply does not register these routes.
+//
+// tracer and reg may be nil; the corresponding endpoints then serve
+// an empty trace / empty exposition.
+func DebugMux(tracer *Tracer, reg *Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/trace", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		tracer.WriteChromeTrace(w)
+	})
+	mux.HandleFunc("/debug/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if reg != nil {
+			reg.WriteTo(w)
+		}
+	})
+	return mux
+}

@@ -1,0 +1,100 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+)
+
+// chromeEvent is one entry of the Chrome trace_event JSON array. We
+// emit "X" (complete) events for spans and "M" (metadata) events for
+// lane names; ts and dur are microseconds relative to the tracer
+// epoch. The format is documented in the Trace Event Format spec and
+// loads in chrome://tracing and https://ui.perfetto.dev.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Cat   string         `json:"cat,omitempty"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"`
+	Dur   *float64       `json:"dur,omitempty"`
+	PID   int            `json:"pid"`
+	TID   int64          `json:"tid"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace writes every completed span as Chrome trace_event
+// JSON. Events are ordered by start time (span id breaking ties) so
+// the output for a fixed span set does not depend on the completion
+// order the tracer observed.
+func (t *Tracer) WriteChromeTrace(w io.Writer) error {
+	var tr chromeTrace
+	tr.DisplayTimeUnit = "ms"
+	if t != nil {
+		recs, lanes := t.snapshot()
+		sort.Slice(recs, func(i, j int) bool {
+			if !recs[i].start.Equal(recs[j].start) {
+				return recs[i].start.Before(recs[j].start)
+			}
+			return recs[i].id < recs[j].id
+		})
+		laneIDs := make([]int64, 0, len(lanes))
+		for id := range lanes {
+			laneIDs = append(laneIDs, id)
+		}
+		sort.Slice(laneIDs, func(i, j int) bool { return laneIDs[i] < laneIDs[j] })
+		for _, id := range laneIDs {
+			tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+				Name:  "thread_name",
+				Phase: "M",
+				PID:   1,
+				TID:   id,
+				Args:  map[string]any{"name": fmt.Sprintf("%s (lane %d)", lanes[id], id)},
+			})
+		}
+		for _, r := range recs {
+			dur := r.end.Sub(r.start).Seconds() * 1e6
+			ev := chromeEvent{
+				Name:  r.name,
+				Cat:   "pmcpower",
+				Phase: "X",
+				TS:    r.start.Sub(t.epoch).Seconds() * 1e6,
+				Dur:   &dur,
+				PID:   1,
+				TID:   r.lane,
+			}
+			if len(r.attrs) > 0 {
+				ev.Args = make(map[string]any, len(r.attrs))
+				for _, a := range r.attrs {
+					ev.Args[a.Key] = a.Value
+				}
+			}
+			tr.TraceEvents = append(tr.TraceEvents, ev)
+		}
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(tr)
+}
+
+// WriteChromeTraceFile writes the trace to path, creating or
+// truncating it.
+func (t *Tracer) WriteChromeTraceFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	if err := t.WriteChromeTrace(f); err != nil {
+		f.Close()
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("obs: writing trace: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// LatencyBuckets are the fixed log-spaced histogram bounds (seconds)
+// used for every latency histogram in the codebase: the classic
+// 1–2.5–5 ladder from 1µs to 10s. A shared fixed ladder keeps
+// histograms comparable across metrics and renders byte-stably.
+var LatencyBuckets = []float64{
+	1e-6, 2.5e-6, 5e-6,
+	1e-5, 2.5e-5, 5e-5,
+	1e-4, 2.5e-4, 5e-4,
+	1e-3, 2.5e-3, 5e-3,
+	1e-2, 2.5e-2, 5e-2,
+	1e-1, 2.5e-1, 5e-1,
+	1, 2.5, 5, 10,
+}
+
+// Label is one metric label pair. Labels on a collector are sorted by
+// key at registration, so the exposition is canonical regardless of
+// the order call sites pass them in.
+type Label struct {
+	Key, Value string
+}
+
+// Registry holds metric families and renders them in the Prometheus
+// text exposition format. Registration is idempotent: asking for an
+// existing (name, labels) pair returns the existing collector, so
+// package-level instruments and per-instance instruments can share a
+// registry without double-registration errors. Mixing types under one
+// name panics — that is a programming error, not an operational
+// condition.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+type family struct {
+	name, help, typ string
+	series          map[string]*series // canonical label signature -> series
+}
+
+type series struct {
+	labels []Label // sorted by key
+	col    any     // *Counter, *Gauge, *Histogram, or gaugeFunc
+}
+
+type gaugeFunc func() float64
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+var defaultRegistry = NewRegistry()
+
+// Default returns the process-wide registry. Library-level
+// instruments (e.g. the parallel engine's task counters) register
+// here; pmcpowerd serves it at /metrics.
+func Default() *Registry { return defaultRegistry }
+
+// Counter is a monotonically increasing count. All methods are
+// goroutine-safe and lock-free.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n uint64) { c.v.Add(n) }
+
+// Value returns the current count.
+func (c *Counter) Value() uint64 { return c.v.Load() }
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set stores v.
+func (g *Gauge) Set(v float64) { g.bits.Store(math.Float64bits(v)) }
+
+// Value returns the current value.
+func (g *Gauge) Value() float64 { return math.Float64frombits(g.bits.Load()) }
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative
+// upper bounds in ascending order (an implicit +Inf bucket is always
+// present). Observe is goroutine-safe.
+type Histogram struct {
+	bounds []float64
+	mu     sync.Mutex
+	counts []uint64 // len(bounds)+1; last is the +Inf overflow
+	sum    float64
+	count  uint64
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Counter returns the counter registered under name with the given
+// labels, creating it on first use.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	return register(r, name, help, "counter", labels, func() *Counter { return &Counter{} })
+}
+
+// Gauge returns the gauge registered under name with the given
+// labels, creating it on first use.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	return register(r, name, help, "gauge", labels, func() *Gauge { return &Gauge{} })
+}
+
+// GaugeFunc registers a gauge whose value is sampled from fn at
+// render time (e.g. "active sessions" owned by a session table). The
+// first registration under a (name, labels) pair wins.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	register(r, name, help, "gauge", labels, func() gaugeFunc { return gaugeFunc(fn) })
+}
+
+// Histogram returns the histogram registered under name with the
+// given labels, creating it with the given bucket bounds on first
+// use. Bounds must be ascending; nil means LatencyBuckets.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	return register(r, name, help, "histogram", labels, func() *Histogram {
+		return &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+	})
+}
+
+func register[C any](r *Registry, name, help, typ string, labels []Label, mk func() C) C {
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	sig := labelSignature(ls)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fam, ok := r.families[name]
+	if !ok {
+		fam = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = fam
+	}
+	if fam.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s, requested as %s", name, fam.typ, typ))
+	}
+	if s, ok := fam.series[sig]; ok {
+		c, ok := s.col.(C)
+		if !ok {
+			panic(fmt.Sprintf("obs: metric %q{%s} collector type mismatch", name, sig))
+		}
+		return c
+	}
+	c := mk()
+	fam.series[sig] = &series{labels: ls, col: c}
+	return c
+}
+
+// labelSignature renders sorted labels canonically for map keys and
+// the exposition: k1="v1",k2="v2".
+func labelSignature(ls []Label) string {
+	if len(ls) == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, "%s=%q", l.Key, l.Value)
+	}
+	return sb.String()
+}
+
+// formatFloat renders a float the way the Prometheus text format
+// expects, with the shortest round-trip representation so rendering
+// is byte-stable for a fixed value.
+func formatFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// WriteTo renders the registry in the Prometheus text exposition
+// format. Metric families are sorted by name and label sets sorted by
+// their canonical signature, so for a fixed set of values the output
+// is byte-for-byte stable across renders and across process runs —
+// the property the seed repo maintained by hand and a test now
+// asserts.
+func (r *Registry) WriteTo(w io.Writer) (int64, error) {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for n := range r.families {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	type snapSeries struct {
+		sig    string
+		labels []Label
+		col    any
+	}
+	type snapFamily struct {
+		name, help, typ string
+		series          []snapSeries
+	}
+	fams := make([]snapFamily, 0, len(names))
+	for _, n := range names {
+		f := r.families[n]
+		sf := snapFamily{name: f.name, help: f.help, typ: f.typ}
+		sigs := make([]string, 0, len(f.series))
+		for sig := range f.series {
+			sigs = append(sigs, sig)
+		}
+		sort.Strings(sigs)
+		for _, sig := range sigs {
+			s := f.series[sig]
+			sf.series = append(sf.series, snapSeries{sig: sig, labels: s.labels, col: s.col})
+		}
+		fams = append(fams, sf)
+	}
+	r.mu.Unlock()
+
+	var sb strings.Builder
+	for _, f := range fams {
+		if f.help != "" {
+			fmt.Fprintf(&sb, "# HELP %s %s\n", f.name, f.help)
+		}
+		fmt.Fprintf(&sb, "# TYPE %s %s\n", f.name, f.typ)
+		for _, s := range f.series {
+			switch c := s.col.(type) {
+			case *Counter:
+				fmt.Fprintf(&sb, "%s%s %d\n", f.name, renderLabels(s.sig), c.Value())
+			case *Gauge:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, renderLabels(s.sig), formatFloat(c.Value()))
+			case gaugeFunc:
+				fmt.Fprintf(&sb, "%s%s %s\n", f.name, renderLabels(s.sig), formatFloat(c()))
+			case *Histogram:
+				renderHistogram(&sb, f.name, s.sig, c)
+			}
+		}
+	}
+	n, err := io.WriteString(w, sb.String())
+	return int64(n), err
+}
+
+func renderLabels(sig string) string {
+	if sig == "" {
+		return ""
+	}
+	return "{" + sig + "}"
+}
+
+func renderHistogram(sb *strings.Builder, name, sig string, h *Histogram) {
+	h.mu.Lock()
+	counts := append([]uint64(nil), h.counts...)
+	sum, count := h.sum, h.count
+	h.mu.Unlock()
+	cum := uint64(0)
+	for i, bound := range h.bounds {
+		cum += counts[i]
+		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, renderLabels(joinSig(sig, fmt.Sprintf("le=%q", formatFloat(bound)))), cum)
+	}
+	cum += counts[len(h.bounds)]
+	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, renderLabels(joinSig(sig, `le="+Inf"`)), cum)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, renderLabels(sig), formatFloat(sum))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, renderLabels(sig), count)
+}
+
+func joinSig(sig, extra string) string {
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+// Render returns the exposition as a string.
+func (r *Registry) Render() string {
+	var sb strings.Builder
+	r.WriteTo(&sb)
+	return sb.String()
+}

@@ -1,0 +1,123 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRegistryRenderCanonicalAndByteStable(t *testing.T) {
+	reg := NewRegistry()
+	// Register out of order, with labels in non-sorted key order: the
+	// exposition must come out canonically sorted regardless.
+	reg.Counter("zz_last_total", "Last family.").Add(3)
+	reg.Counter("aa_first_total", "First family.",
+		Label{Key: "reason", Value: "parse"}).Add(1)
+	reg.Counter("aa_first_total", "First family.",
+		Label{Key: "reason", Value: "bad_rate"}).Add(2)
+	reg.Gauge("mm_middle", "Middle family.",
+		Label{Key: "z", Value: "1"}, Label{Key: "a", Value: "2"}).Set(4.5)
+
+	first := reg.Render()
+	second := reg.Render()
+	if first != second {
+		t.Fatalf("render is not byte-stable:\n--- first ---\n%s--- second ---\n%s", first, second)
+	}
+
+	// Families sorted by name, label sets sorted within a family, and
+	// labels sorted by key inside a series.
+	iAA1 := strings.Index(first, `aa_first_total{reason="bad_rate"} 2`)
+	iAA2 := strings.Index(first, `aa_first_total{reason="parse"} 1`)
+	iMM := strings.Index(first, `mm_middle{a="2",z="1"} 4.5`)
+	iZZ := strings.Index(first, "zz_last_total 3")
+	for name, idx := range map[string]int{"aa bad_rate": iAA1, "aa parse": iAA2, "mm": iMM, "zz": iZZ} {
+		if idx < 0 {
+			t.Fatalf("missing %s line in:\n%s", name, first)
+		}
+	}
+	if !(iAA1 < iAA2 && iAA2 < iMM && iMM < iZZ) {
+		t.Errorf("lines out of canonical order (%d %d %d %d):\n%s", iAA1, iAA2, iMM, iZZ, first)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	reg := NewRegistry()
+	c1 := reg.Counter("x_total", "X.")
+	c2 := reg.Counter("x_total", "X.")
+	if c1 != c2 {
+		t.Fatalf("same (name, labels) returned distinct counters")
+	}
+	c1.Inc()
+	if c2.Value() != 1 {
+		t.Fatalf("counters not shared: %d", c2.Value())
+	}
+
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("registering x_total as a gauge should panic")
+		}
+	}()
+	reg.Gauge("x_total", "X.")
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 2} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	out := reg.Render()
+	// le="0.01" is cumulative and inclusive: 0.005 and 0.01.
+	for _, want := range []string{
+		`lat_seconds_bucket{le="0.01"} 2`,
+		`lat_seconds_bucket{le="0.1"} 3`,
+		`lat_seconds_bucket{le="1"} 4`,
+		`lat_seconds_bucket{le="+Inf"} 5`,
+		`lat_seconds_count 5`,
+		`# TYPE lat_seconds histogram`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGaugeFunc(t *testing.T) {
+	reg := NewRegistry()
+	v := 7.0
+	reg.GaugeFunc("live_things", "Live things.", func() float64 { return v })
+	if !strings.Contains(reg.Render(), "live_things 7") {
+		t.Fatalf("gauge func not rendered:\n%s", reg.Render())
+	}
+	v = 9
+	if !strings.Contains(reg.Render(), "live_things 9") {
+		t.Fatalf("gauge func not re-sampled:\n%s", reg.Render())
+	}
+}
+
+func TestLatencyBucketsAscending(t *testing.T) {
+	for i := 1; i < len(LatencyBuckets); i++ {
+		if LatencyBuckets[i] <= LatencyBuckets[i-1] {
+			t.Fatalf("LatencyBuckets not ascending at %d: %v", i, LatencyBuckets)
+		}
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]string{
+		"debug": "DEBUG", "Info": "INFO", "WARN": "WARN", "error": "ERROR",
+	} {
+		lv, err := ParseLevel(in)
+		if err != nil {
+			t.Fatalf("ParseLevel(%q): %v", in, err)
+		}
+		if lv.String() != want {
+			t.Errorf("ParseLevel(%q) = %s, want %s", in, lv, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Fatalf("ParseLevel(loud) should fail")
+	}
+}

@@ -1,0 +1,221 @@
+// Package obs is the shared observability layer of the pmcpower
+// codebase: span tracing with a Chrome trace_event exporter, a typed
+// metrics registry with deterministic Prometheus-text rendering, and
+// structured-logging helpers. It depends only on the standard library
+// and is safe to import from every layer (stats, parallel, core,
+// serve, cmd).
+//
+// The package is an homage to the paper's instrumentation workflow —
+// Score-P metric plugins feeding OTF2 traces that are post-processed
+// into phase profiles — applied to our own pipeline: the acquisition
+// campaign, counter selection, model fits, and cross-validation folds
+// emit spans that open directly in chrome://tracing or Perfetto.
+//
+// Determinism contract: tracing and metrics record timing and counts
+// into side buffers; they never touch the rng streams, the dataset,
+// or any numeric path of the pipeline. Results are bit-identical with
+// tracing enabled or disabled (cmd/powermodel's e2e test asserts
+// this). All types are goroutine-safe; the nil *Tracer and nil *Span
+// are no-ops, so instrumented code needs no "is tracing on" branches.
+package obs
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one key/value annotation on a span, rendered into the
+// trace_event "args" object.
+type Attr struct {
+	Key   string
+	Value any
+}
+
+// String returns a string-valued span attribute.
+func String(k, v string) Attr { return Attr{Key: k, Value: v} }
+
+// Int returns an int-valued span attribute.
+func Int(k string, v int) Attr { return Attr{Key: k, Value: v} }
+
+// Float returns a float-valued span attribute.
+func Float(k string, v float64) Attr { return Attr{Key: k, Value: v} }
+
+// Tracer records completed spans for later export. The zero value is
+// not usable; construct with NewTracer. A nil *Tracer is a valid
+// no-op sink: StartSpan on it returns a nil Span whose methods all
+// no-op, which keeps instrumentation free when tracing is off.
+type Tracer struct {
+	epoch time.Time
+
+	nextID   atomic.Int64
+	nextLane atomic.Int64
+
+	mu    sync.Mutex
+	done  []spanRecord
+	lanes map[int64]string // lane id -> display name (first root span)
+}
+
+// spanRecord is one completed span.
+type spanRecord struct {
+	id, parent int64
+	lane       int64
+	name       string
+	start, end time.Time
+	attrs      []Attr
+}
+
+// NewTracer returns an empty tracer whose span timestamps are
+// relative to now.
+func NewTracer() *Tracer {
+	return &Tracer{epoch: time.Now(), lanes: make(map[int64]string)}
+}
+
+// Span is one in-flight or completed operation. Spans nest through
+// the context: StartSpan parents the new span to the span already in
+// ctx and stores the new one. End is idempotent.
+type Span struct {
+	tracer *Tracer
+	rec    spanRecord
+	attrMu sync.Mutex
+	ended  atomic.Bool
+}
+
+type spanCtxKey struct{}
+type tracerCtxKey struct{}
+
+// ContextWithTracer returns a context carrying t. Instrumented code
+// retrieves it with FromContext; a nil t is carried as-is and every
+// downstream span call no-ops.
+func ContextWithTracer(ctx context.Context, t *Tracer) context.Context {
+	return context.WithValue(ctx, tracerCtxKey{}, t)
+}
+
+// FromContext returns the tracer carried by ctx, or nil when the
+// context is untraced.
+func FromContext(ctx context.Context) *Tracer {
+	t, _ := ctx.Value(tracerCtxKey{}).(*Tracer)
+	return t
+}
+
+// StartSpan opens a span named name as a child of the span in ctx (a
+// root span when there is none) and returns a derived context
+// carrying the new span. The returned context always carries the
+// tracer, so callees can keep nesting. On a nil tracer it returns ctx
+// unchanged and a nil span.
+func (t *Tracer) StartSpan(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return t.start(ctx, name, false, attrs)
+}
+
+// StartLane opens a span in a fresh lane (a new "thread" row in the
+// trace viewer) instead of inheriting the parent's lane. The parallel
+// engine uses one lane per worker goroutine so worker utilization and
+// load imbalance are visible as rows of the timeline.
+func (t *Tracer) StartLane(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	return t.start(ctx, name, true, attrs)
+}
+
+func (t *Tracer) start(ctx context.Context, name string, newLane bool, attrs []Attr) (context.Context, *Span) {
+	if t == nil {
+		return ctx, nil
+	}
+	s := &Span{tracer: t}
+	s.rec.id = t.nextID.Add(1)
+	s.rec.name = name
+	s.rec.start = time.Now()
+	s.rec.attrs = attrs
+	parent, _ := ctx.Value(spanCtxKey{}).(*Span)
+	switch {
+	case parent != nil && !newLane:
+		s.rec.parent = parent.rec.id
+		s.rec.lane = parent.rec.lane
+	default:
+		if parent != nil {
+			s.rec.parent = parent.rec.id
+		}
+		s.rec.lane = t.nextLane.Add(1)
+		t.mu.Lock()
+		if _, ok := t.lanes[s.rec.lane]; !ok {
+			t.lanes[s.rec.lane] = name
+		}
+		t.mu.Unlock()
+	}
+	ctx = context.WithValue(ctx, tracerCtxKey{}, t)
+	ctx = context.WithValue(ctx, spanCtxKey{}, s)
+	return ctx, s
+}
+
+// SetAttr attaches an annotation to the span after creation (e.g. a
+// result computed during the span). No-op on a nil or ended span.
+func (s *Span) SetAttr(attrs ...Attr) {
+	if s == nil || s.ended.Load() {
+		return
+	}
+	s.attrMu.Lock()
+	s.rec.attrs = append(s.rec.attrs, attrs...)
+	s.attrMu.Unlock()
+}
+
+// End closes the span and hands it to the tracer. Idempotent; no-op
+// on a nil span.
+func (s *Span) End() {
+	if s == nil || !s.ended.CompareAndSwap(false, true) {
+		return
+	}
+	s.rec.end = time.Now()
+	t := s.tracer
+	t.mu.Lock()
+	t.done = append(t.done, s.rec)
+	t.mu.Unlock()
+}
+
+// snapshot returns a copy of the completed spans and lane names.
+func (t *Tracer) snapshot() ([]spanRecord, map[int64]string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	recs := make([]spanRecord, len(t.done))
+	copy(recs, t.done)
+	lanes := make(map[int64]string, len(t.lanes))
+	for k, v := range t.lanes {
+		lanes[k] = v
+	}
+	return recs, lanes
+}
+
+// Len returns the number of completed spans.
+func (t *Tracer) Len() int {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.done)
+}
+
+// SpanInfo is the exported view of one completed span, for tests and
+// programmatic consumers (the Chrome exporter is the human-facing
+// path).
+type SpanInfo struct {
+	ID, Parent int64
+	Lane       int64
+	Name       string
+	Start, End time.Time
+	Attrs      []Attr
+}
+
+// Spans returns the completed spans in completion order.
+func (t *Tracer) Spans() []SpanInfo {
+	if t == nil {
+		return nil
+	}
+	recs, _ := t.snapshot()
+	out := make([]SpanInfo, len(recs))
+	for i, r := range recs {
+		out[i] = SpanInfo{
+			ID: r.id, Parent: r.parent, Lane: r.lane, Name: r.name,
+			Start: r.start, End: r.end, Attrs: r.attrs,
+		}
+	}
+	return out
+}

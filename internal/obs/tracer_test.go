@@ -1,0 +1,158 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"testing"
+)
+
+func TestSpanNesting(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+
+	ctx, root := tr.StartSpan(ctx, "root", Int("n", 1))
+	cctx, child := tr.StartSpan(ctx, "child")
+	_, grand := tr.StartSpan(cctx, "grandchild")
+	grand.End()
+	child.End()
+	root.End()
+
+	spans := tr.Spans()
+	if len(spans) != 3 {
+		t.Fatalf("got %d spans, want 3", len(spans))
+	}
+	byName := map[string]SpanInfo{}
+	for _, s := range spans {
+		byName[s.Name] = s
+	}
+	if byName["child"].Parent != byName["root"].ID {
+		t.Errorf("child parent = %d, want root id %d", byName["child"].Parent, byName["root"].ID)
+	}
+	if byName["grandchild"].Parent != byName["child"].ID {
+		t.Errorf("grandchild parent = %d, want child id %d", byName["grandchild"].Parent, byName["child"].ID)
+	}
+	if byName["root"].Parent != 0 {
+		t.Errorf("root parent = %d, want 0", byName["root"].Parent)
+	}
+	// Same lane throughout: children inherit.
+	if byName["child"].Lane != byName["root"].Lane || byName["grandchild"].Lane != byName["root"].Lane {
+		t.Errorf("lanes differ: root=%d child=%d grandchild=%d",
+			byName["root"].Lane, byName["child"].Lane, byName["grandchild"].Lane)
+	}
+	// Wall-clock containment.
+	for _, name := range []string{"child", "grandchild"} {
+		s := byName[name]
+		if s.Start.Before(byName["root"].Start) || s.End.After(byName["root"].End) {
+			t.Errorf("%s [%v,%v] not contained in root [%v,%v]",
+				name, s.Start, s.End, byName["root"].Start, byName["root"].End)
+		}
+	}
+}
+
+func TestStartLane(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := tr.StartSpan(ctx, "root")
+	_, w0 := tr.StartLane(ctx, "worker", Int("worker", 0))
+	_, w1 := tr.StartLane(ctx, "worker", Int("worker", 1))
+	w0.End()
+	w1.End()
+	root.End()
+	spans := tr.Spans()
+	lanes := map[int64]bool{}
+	for _, s := range spans {
+		lanes[s.Lane] = true
+	}
+	if len(lanes) != 3 {
+		t.Fatalf("got %d distinct lanes, want 3 (root + 2 workers)", len(lanes))
+	}
+	// Lane spans still record the logical parent for nesting checks.
+	for _, s := range spans {
+		if s.Name == "worker" && s.Parent == 0 {
+			t.Errorf("worker span lost its parent link")
+		}
+	}
+}
+
+func TestNilTracerNoOps(t *testing.T) {
+	var tr *Tracer
+	ctx := ContextWithTracer(context.Background(), tr)
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext = %v, want nil", got)
+	}
+	ctx2, span := tr.StartSpan(ctx, "x", String("k", "v"))
+	if ctx2 != ctx {
+		t.Errorf("nil tracer must return ctx unchanged")
+	}
+	span.SetAttr(Int("n", 1)) // must not panic
+	span.End()                // must not panic
+	if tr.Len() != 0 {
+		t.Errorf("nil tracer Len = %d", tr.Len())
+	}
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatalf("nil tracer export: %v", err)
+	}
+}
+
+func TestEndIdempotent(t *testing.T) {
+	tr := NewTracer()
+	_, s := tr.StartSpan(context.Background(), "once")
+	s.End()
+	s.End()
+	s.End()
+	if got := tr.Len(); got != 1 {
+		t.Fatalf("span recorded %d times, want 1", got)
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	tr := NewTracer()
+	ctx := ContextWithTracer(context.Background(), tr)
+	ctx, root := tr.StartSpan(ctx, "pipeline", String("stage", "test"))
+	_, child := tr.StartSpan(ctx, "fit", Int("rows", 10))
+	child.End()
+	root.End()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name  string         `json:"name"`
+			Phase string         `json:"ph"`
+			TS    float64        `json:"ts"`
+			Dur   float64        `json:"dur"`
+			PID   int            `json:"pid"`
+			TID   int64          `json:"tid"`
+			Args  map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v\n%s", err, buf.String())
+	}
+	var sawMeta, sawFit, sawPipeline bool
+	for _, ev := range doc.TraceEvents {
+		switch {
+		case ev.Phase == "M":
+			sawMeta = true
+		case ev.Phase == "X" && ev.Name == "fit":
+			sawFit = true
+			if ev.Args["rows"] != float64(10) {
+				t.Errorf("fit args = %v, want rows=10", ev.Args)
+			}
+			if ev.TS < 0 || ev.Dur < 0 {
+				t.Errorf("fit ts/dur negative: %v/%v", ev.TS, ev.Dur)
+			}
+		case ev.Phase == "X" && ev.Name == "pipeline":
+			sawPipeline = true
+		}
+	}
+	if !sawMeta || !sawFit || !sawPipeline {
+		t.Fatalf("export missing events (meta=%v fit=%v pipeline=%v):\n%s",
+			sawMeta, sawFit, sawPipeline, buf.String())
+	}
+}

@@ -28,6 +28,21 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"pmcpower/internal/obs"
+)
+
+// Engine-level metrics on the shared default registry: how many tasks
+// the pool has executed and how many failed. Counters are atomic
+// increments off the numeric path, so they do not perturb the
+// determinism contract.
+var (
+	tasksTotal = obs.Default().Counter("pmcpower_parallel_tasks_total",
+		"Tasks executed by the parallel engine (serial and pooled).")
+	taskFailures = obs.Default().Counter("pmcpower_parallel_task_failures_total",
+		"Tasks that returned an error.")
+	sweepsTotal = obs.Default().Counter("pmcpower_parallel_sweeps_total",
+		"Map/ForEach sweeps dispatched.")
 )
 
 // Workers resolves a Parallelism knob to a concrete worker count:
@@ -52,6 +67,19 @@ func Workers(p int) int {
 // tasks observe it between dispatches, and fn may also watch
 // ctx.Done() itself for long-running bodies.
 func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, error)) ([]T, error) {
+	return MapCtx(ctx, n, parallelism, func(_ context.Context, i int) (T, error) {
+		return fn(i)
+	})
+}
+
+// MapCtx is Map for task bodies that want the per-worker context: fn
+// receives a context derived from ctx that carries the worker's span
+// when ctx is traced (see internal/obs), so spans the task opens land
+// in that worker's lane of the timeline — worker utilization and load
+// imbalance become visible in the exported trace. Tracing writes to a
+// side buffer only; results remain bit-identical to the serial loop
+// whether or not a tracer is attached.
+func MapCtx[T any](ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
@@ -60,14 +88,18 @@ func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, erro
 		workers = n
 	}
 	out := make([]T, n)
+	tracer := obs.FromContext(ctx)
+	sweepsTotal.Inc()
 
 	if workers == 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			v, err := fn(i)
+			tasksTotal.Inc()
+			v, err := fn(ctx, i)
 			if err != nil {
+				taskFailures.Inc()
 				return nil, err
 			}
 			out[i] = v
@@ -86,8 +118,13 @@ func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, erro
 	)
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
+			// One lane per worker goroutine: every span a task opens
+			// nests under this one, so the trace shows what each
+			// worker ran and when it idled.
+			wctx, wspan := tracer.StartLane(cctx, "parallel.worker", obs.Int("worker", w))
+			defer wspan.End()
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -96,8 +133,10 @@ func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, erro
 				if cctx.Err() != nil {
 					return
 				}
-				v, err := fn(i)
+				tasksTotal.Inc()
+				v, err := fn(wctx, i)
 				if err != nil {
+					taskFailures.Inc()
 					mu.Lock()
 					errs[i] = err
 					mu.Unlock()
@@ -106,7 +145,7 @@ func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, erro
 				}
 				out[i] = v
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 

@@ -8,6 +8,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"pmcpower/internal/obs"
 )
 
 func TestWorkers(t *testing.T) {
@@ -158,5 +160,74 @@ func TestForEach(t *testing.T) {
 		return sentinel
 	}); !errors.Is(err, sentinel) {
 		t.Fatalf("ForEach error = %v", err)
+	}
+}
+
+func TestMapCtxWorkerSpans(t *testing.T) {
+	tracer := obs.NewTracer()
+	ctx := obs.ContextWithTracer(context.Background(), tracer)
+	const n, workers = 24, 4
+	out, err := MapCtx(ctx, n, workers, func(ctx context.Context, i int) (int, error) {
+		_, span := obs.FromContext(ctx).StartSpan(ctx, "task")
+		defer span.End()
+		return i * i, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("slot %d = %d, want %d", i, v, i*i)
+		}
+	}
+	spans := tracer.Spans()
+	var workerSpans, taskSpans int
+	workerLanes := map[int64]bool{}
+	workerIDs := map[int64]bool{}
+	for _, s := range spans {
+		switch s.Name {
+		case "parallel.worker":
+			workerSpans++
+			workerLanes[s.Lane] = true
+			workerIDs[s.ID] = true
+		case "task":
+			taskSpans++
+		}
+	}
+	if workerSpans != workers || len(workerLanes) != workers {
+		t.Fatalf("got %d worker spans in %d lanes, want %d in %d", workerSpans, len(workerLanes), workers, workers)
+	}
+	if taskSpans != n {
+		t.Fatalf("got %d task spans, want %d", taskSpans, n)
+	}
+	// Every task span nests under some worker span, in that worker's lane.
+	for _, s := range spans {
+		if s.Name == "task" {
+			if !workerIDs[s.Parent] {
+				t.Fatalf("task span parented to %d, not a worker span", s.Parent)
+			}
+			if !workerLanes[s.Lane] {
+				t.Fatalf("task span in lane %d, not a worker lane", s.Lane)
+			}
+		}
+	}
+}
+
+// TestEngineCounters asserts the default-registry task counters move
+// with the engine — the numbers pmcpowerd exposes at /metrics.
+func TestEngineCounters(t *testing.T) {
+	before := tasksTotal.Value()
+	failBefore := taskFailures.Value()
+	const n = 10
+	if _, err := Map(context.Background(), n, 2, func(i int) (int, error) { return i, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if got := tasksTotal.Value() - before; got != n {
+		t.Fatalf("tasksTotal moved by %d, want %d", got, n)
+	}
+	sentinel := errors.New("boom")
+	Map(context.Background(), 1, 1, func(i int) (int, error) { return 0, sentinel })
+	if got := taskFailures.Value() - failBefore; got != 1 {
+		t.Fatalf("taskFailures moved by %d, want 1", got)
 	}
 }

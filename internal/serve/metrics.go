@@ -1,11 +1,10 @@
 package serve
 
 import (
-	"fmt"
-	"sort"
-	"strings"
-	"sync"
+	"sync/atomic"
 	"time"
+
+	"pmcpower/internal/obs"
 )
 
 // Rejection reasons, used both as metric labels and in NDJSON error
@@ -24,95 +23,91 @@ const (
 	ReasonSessionBusy = "session_busy"
 )
 
-// Metrics aggregates the service counters exposed at /metrics:
-// request counts by path, rejected samples by reason, accepted
-// estimates, and estimate latency (count/sum/max). Active-session
-// count is sampled from the session table at render time.
+// Metrics is the pmcpowerd instrument set, backed by the shared
+// internal/obs registry (the seed's hand-rolled render loop is gone):
+// request counters and latency histograms by path, rejected samples
+// by reason, accepted-estimate counters with a push-latency
+// histogram, and session lifecycle counters. Gauges whose value lives
+// elsewhere (active sessions, registered models) are attached by the
+// Server as GaugeFuncs on the same registry. Rendering is the
+// registry's: families and label sets in canonical sorted order,
+// byte-stable across runs.
 type Metrics struct {
-	mu        sync.Mutex
-	requests  map[string]uint64
-	rejected  map[string]uint64
-	estimates uint64
-	latCount  uint64
-	latSumNs  uint64
-	latMaxNs  uint64
-	evictions uint64
+	reg *obs.Registry
+
+	estimates       *obs.Counter
+	evictions       *obs.Counter
+	sessionsCreated *obs.Counter
+	estimateLatency *obs.Histogram
+	totalRequests   atomic.Uint64
 }
 
-// NewMetrics returns a zeroed metrics set.
-func NewMetrics() *Metrics {
-	return &Metrics{requests: make(map[string]uint64), rejected: make(map[string]uint64)}
+// NewMetrics returns the instrument set registered on reg (the
+// process default when nil). Registration is idempotent, so a shared
+// registry (e.g. obs.Default()) can carry both these and library
+// metrics like the parallel engine's task counters.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	if reg == nil {
+		reg = obs.Default()
+	}
+	return &Metrics{
+		reg: reg,
+		estimates: reg.Counter("pmcpowerd_estimates_total",
+			"Accepted streaming samples across all sessions."),
+		evictions: reg.Counter("pmcpowerd_sessions_evicted_total",
+			"Estimator sessions evicted for idleness."),
+		sessionsCreated: reg.Counter("pmcpowerd_sessions_created_total",
+			"Named estimator sessions created."),
+		estimateLatency: reg.Histogram("pmcpowerd_estimate_latency_seconds",
+			"Per-sample estimator push latency.", nil),
+	}
 }
+
+// Registry exposes the backing registry (for GaugeFunc attachment and
+// the /metrics handler).
+func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
 // Request counts one HTTP request to path.
 func (m *Metrics) Request(path string) {
-	m.mu.Lock()
-	m.requests[path]++
-	m.mu.Unlock()
+	m.totalRequests.Add(1)
+	m.reg.Counter("pmcpowerd_requests_total", "HTTP requests by path.",
+		obs.Label{Key: "path", Value: path}).Inc()
+}
+
+// RequestLatency records one full-request duration for path.
+func (m *Metrics) RequestLatency(path string, d time.Duration) {
+	m.reg.Histogram("pmcpowerd_request_seconds", "HTTP request latency by path.",
+		nil, obs.Label{Key: "path", Value: path}).Observe(d.Seconds())
 }
 
 // Reject counts one rejected sample or refused request under reason.
 func (m *Metrics) Reject(reason string) {
-	m.mu.Lock()
-	m.rejected[reason]++
-	m.mu.Unlock()
+	m.reg.Counter("pmcpowerd_samples_rejected_total", "Rejected samples and refused requests by reason.",
+		obs.Label{Key: "reason", Value: reason}).Inc()
 }
 
 // Rejected returns the current count for reason.
 func (m *Metrics) Rejected(reason string) uint64 {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	return m.rejected[reason]
+	return m.reg.Counter("pmcpowerd_samples_rejected_total", "Rejected samples and refused requests by reason.",
+		obs.Label{Key: "reason", Value: reason}).Value()
 }
 
 // Estimate records one accepted sample and its push latency.
 func (m *Metrics) Estimate(d time.Duration) {
-	ns := uint64(d.Nanoseconds())
-	m.mu.Lock()
-	m.estimates++
-	m.latCount++
-	m.latSumNs += ns
-	if ns > m.latMaxNs {
-		m.latMaxNs = ns
-	}
-	m.mu.Unlock()
+	m.estimates.Inc()
+	m.estimateLatency.Observe(d.Seconds())
 }
 
 // Eviction counts one idle-session eviction.
-func (m *Metrics) Eviction() {
-	m.mu.Lock()
-	m.evictions++
-	m.mu.Unlock()
-}
+func (m *Metrics) Eviction() { m.evictions.Inc() }
 
-// Render writes the text exposition format. activeSessions is sampled
-// by the caller (the session manager owns that number). Lines are
-// sorted so the output is deterministic.
-func (m *Metrics) Render(activeSessions int) string {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	var sb strings.Builder
-	keys := make([]string, 0, len(m.requests))
-	for k := range m.requests {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&sb, "pmcpowerd_requests_total{path=%q} %d\n", k, m.requests[k])
-	}
-	fmt.Fprintf(&sb, "pmcpowerd_sessions_active %d\n", activeSessions)
-	fmt.Fprintf(&sb, "pmcpowerd_sessions_evicted_total %d\n", m.evictions)
-	keys = keys[:0]
-	for k := range m.rejected {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	for _, k := range keys {
-		fmt.Fprintf(&sb, "pmcpowerd_samples_rejected_total{reason=%q} %d\n", k, m.rejected[k])
-	}
-	fmt.Fprintf(&sb, "pmcpowerd_estimates_total %d\n", m.estimates)
-	fmt.Fprintf(&sb, "pmcpowerd_estimate_latency_seconds_count %d\n", m.latCount)
-	fmt.Fprintf(&sb, "pmcpowerd_estimate_latency_seconds_sum %.9f\n", float64(m.latSumNs)/1e9)
-	fmt.Fprintf(&sb, "pmcpowerd_estimate_latency_seconds_max %.9f\n", float64(m.latMaxNs)/1e9)
-	return sb.String()
-}
+// SessionCreated counts one named-session creation.
+func (m *Metrics) SessionCreated() { m.sessionsCreated.Inc() }
+
+// TotalRequests returns the number of requests counted across all
+// paths — pmcpowerd's shutdown log reports it as "requests served".
+func (m *Metrics) TotalRequests() uint64 { return m.totalRequests.Load() }
+
+// Render returns the full exposition (all families on the backing
+// registry) in canonical byte-stable order.
+func (m *Metrics) Render() string { return m.reg.Render() }

@@ -1,0 +1,171 @@
+package serve
+
+import (
+	"io"
+	"net/http"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmcpower/internal/obs"
+)
+
+// TestMetricsExpositionByteStable exercises the registry-backed
+// /metrics endpoint: after traffic on several endpoints the
+// exposition must contain the request-latency histograms, session
+// counters and gauges, with metric families and label sets in
+// canonical sorted order — byte-for-byte identical across renders.
+func TestMetricsExpositionByteStable(t *testing.T) {
+	s, ts := newTestServer(t, Config{})
+
+	for _, path := range []string{"/healthz", "/v1/models", "/healthz"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+	// One predict request (even a rejected one) lands in the request
+	// histogram via the middleware.
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	resp, err = http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := string(body)
+	for _, want := range []string{
+		`pmcpowerd_requests_total{path="/healthz"} 2`,
+		`pmcpowerd_requests_total{path="/v1/models"} 1`,
+		`pmcpowerd_request_seconds_count{path="/v1/predict"} 1`,
+		`pmcpowerd_samples_rejected_total{reason="parse"} 1`,
+		"pmcpowerd_sessions_active 0",
+		"pmcpowerd_models 1",
+		"# TYPE pmcpowerd_request_seconds histogram",
+		"# TYPE pmcpowerd_requests_total counter",
+	} {
+		if !strings.Contains(first, want) {
+			t.Errorf("/metrics lacks %q:\n%s", want, first)
+		}
+	}
+
+	// Byte-stable: with no traffic in between, two renders must be
+	// identical bytes (the registry guarantees canonical ordering, not
+	// insertion ordering).
+	direct1 := s.Metrics().Render()
+	direct2 := s.Metrics().Render()
+	if direct1 != direct2 {
+		t.Fatalf("registry render not byte-stable:\n--- 1 ---\n%s--- 2 ---\n%s", direct1, direct2)
+	}
+
+	// Canonical ordering: family names must appear in sorted order.
+	var lastFamily string
+	for _, line := range strings.Split(direct1, "\n") {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		fam := strings.Fields(line)[2]
+		if lastFamily != "" && fam < lastFamily {
+			t.Errorf("family %q rendered after %q — not sorted", fam, lastFamily)
+		}
+		lastFamily = fam
+	}
+	if got := s.Metrics().TotalRequests(); got < 5 {
+		t.Errorf("TotalRequests = %d, want >= 5", got)
+	}
+}
+
+// syncBuffer is a goroutine-safe log sink: the middleware writes the
+// request record after the handler returns, which can race a client
+// that has already read the full response.
+type syncBuffer struct {
+	mu sync.Mutex
+	sb strings.Builder
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.Write(p)
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.sb.String()
+}
+
+// TestRequestLogging asserts the middleware writes one structured
+// JSON record per request with method, path, status and session id.
+func TestRequestLogging(t *testing.T) {
+	var logBuf syncBuffer
+	logger := obs.NewLogger(&logBuf, 0)
+	_, ts := newTestServer(t, Config{Logger: logger})
+
+	resp, err := http.Get(ts.URL + "/healthz?session=abc")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+
+	deadline := time.Now().Add(2 * time.Second)
+	var logged string
+	for {
+		logged = logBuf.String()
+		if strings.Contains(logged, `"msg":"request"`) || time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	for _, want := range []string{
+		`"msg":"request"`, `"method":"GET"`, `"path":"/healthz"`, `"status":200`, `"session":"abc"`, `"duration_ms":`,
+	} {
+		if !strings.Contains(logged, want) {
+			t.Errorf("request log lacks %s:\n%s", want, logged)
+		}
+	}
+}
+
+// TestRequestSpans asserts the middleware records one span per
+// request on the configured tracer — the dump pmcpowerd serves at
+// /debug/trace.
+func TestRequestSpans(t *testing.T) {
+	tracer := obs.NewTracer()
+	_, ts := newTestServer(t, Config{Tracer: tracer})
+
+	for i := 0; i < 3; i++ {
+		resp, err := http.Get(ts.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for tracer.Len() < 3 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	spans := tracer.Spans()
+	if len(spans) < 3 {
+		t.Fatalf("tracer has %d spans, want >= 3", len(spans))
+	}
+	for _, s := range spans {
+		if s.Name != "http /healthz" {
+			t.Errorf("unexpected span %q", s.Name)
+		}
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"math"
 	"net/http"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 
 	"pmcpower/internal/acquisition"
 	"pmcpower/internal/core"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/pmu"
 )
 
@@ -42,11 +44,27 @@ type Config struct {
 	MaxLineBytes int
 	// Now is the clock, injectable for tests. Default time.Now.
 	Now func() time.Time
+	// Obs is the metrics registry the service instruments register
+	// on. Default: a fresh private registry (test isolation);
+	// pmcpowerd passes obs.Default() so library metrics (e.g. the
+	// parallel engine's task counters) share the /metrics exposition.
+	Obs *obs.Registry
+	// Logger, when non-nil, receives one structured record per HTTP
+	// request (method, path, status, duration, session id) plus
+	// lifecycle events. Nil disables request logging.
+	Logger *slog.Logger
+	// Tracer, when non-nil, records one span per HTTP request; the
+	// span context is threaded into the handler. pmcpowerd exposes
+	// the dump at /debug/trace on its private debug listener.
+	Tracer *obs.Tracer
 }
 
 func (c Config) withDefaults() Config {
 	if c.Registry == nil {
 		c.Registry = NewRegistry()
+	}
+	if c.Obs == nil {
+		c.Obs = obs.NewRegistry()
 	}
 	if c.DefaultAlpha == 0 {
 		c.DefaultAlpha = 1
@@ -97,10 +115,15 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:     cfg,
 		reg:     cfg.Registry,
-		metrics: NewMetrics(),
+		metrics: NewMetrics(cfg.Obs),
 		stop:    make(chan struct{}),
 	}
 	s.sessions = newSessionManager(cfg.MaxSessions, cfg.IdleTTL, cfg.Now, s.metrics)
+	// Gauges owned by other components, sampled at render time.
+	cfg.Obs.GaugeFunc("pmcpowerd_sessions_active",
+		"Live estimator sessions.", func() float64 { return float64(s.sessions.count()) })
+	cfg.Obs.GaugeFunc("pmcpowerd_models",
+		"Models registered for serving.", func() float64 { return float64(len(s.reg.List())) })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
@@ -112,8 +135,72 @@ func New(cfg Config) *Server {
 	return s
 }
 
-// Handler returns the root handler for an http.Server.
-func (s *Server) Handler() http.Handler { return s.mux }
+// Handler returns the root handler for an http.Server: the service
+// mux wrapped in the observability middleware (per-request latency
+// histograms for the estimation endpoints, an optional span per
+// request, and an optional structured request log).
+func (s *Server) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		ctx, span := s.cfg.Tracer.StartSpan(r.Context(), "http "+r.URL.Path,
+			obs.String("method", r.Method))
+		sw := &statusWriter{ResponseWriter: w}
+		s.mux.ServeHTTP(sw, r.WithContext(ctx))
+		d := time.Since(start)
+		status := sw.Status()
+		span.SetAttr(obs.Int("status", status))
+		span.End()
+		if p := r.URL.Path; p == "/v1/estimate" || p == "/v1/predict" {
+			s.metrics.RequestLatency(p, d)
+		}
+		if s.cfg.Logger != nil {
+			attrs := []any{
+				"method", r.Method,
+				"path", r.URL.Path,
+				"status", status,
+				"duration_ms", float64(d.Nanoseconds()) / 1e6,
+			}
+			if id := r.URL.Query().Get("session"); id != "" {
+				attrs = append(attrs, "session", id)
+			}
+			s.cfg.Logger.Info("request", attrs...)
+		}
+	})
+}
+
+// statusWriter records the response status for the middleware.
+// Unwrap exposes the underlying writer so http.ResponseController
+// (flushing, full-duplex NDJSON streaming) keeps working through the
+// wrapper.
+type statusWriter struct {
+	http.ResponseWriter
+	status int
+}
+
+func (sw *statusWriter) WriteHeader(code int) {
+	if sw.status == 0 {
+		sw.status = code
+	}
+	sw.ResponseWriter.WriteHeader(code)
+}
+
+func (sw *statusWriter) Write(b []byte) (int, error) {
+	if sw.status == 0 {
+		sw.status = http.StatusOK
+	}
+	return sw.ResponseWriter.Write(b)
+}
+
+// Status returns the recorded status (200 when the handler never
+// wrote a header or body).
+func (sw *statusWriter) Status() int {
+	if sw.status == 0 {
+		return http.StatusOK
+	}
+	return sw.status
+}
+
+func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter }
 
 // Metrics exposes the server's counters (used by tests and embedders).
 func (s *Server) Metrics() *Metrics { return s.metrics }
@@ -205,7 +292,7 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("/metrics")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-	fmt.Fprint(w, s.metrics.Render(s.sessions.count()))
+	fmt.Fprint(w, s.metrics.Render())
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {

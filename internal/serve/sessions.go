@@ -82,6 +82,7 @@ func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64) 
 		}
 		s = &session{stream: stream, alpha: alpha}
 		sm.sessions[key] = s
+		sm.metrics.SessionCreated()
 	} else {
 		if s.busy {
 			sm.metrics.Reject(ReasonSessionBusy)
