@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench report examples trace-demo clean
+.PHONY: all build vet test race verify bench bench-hotpath report examples trace-demo clean
 
 all: build vet test
 
@@ -27,6 +27,12 @@ verify: build vet test race
 # Timed regeneration of every paper artifact (E1–E17).
 bench:
 	$(GO) test -bench=. -benchmem ./...
+
+# The selection/CV/training hot path only, with allocation counts —
+# compare against the committed BENCH_5.json baseline.
+bench-hotpath:
+	$(GO) test -run XXX -benchmem -benchtime=20x \
+		-bench 'BenchmarkModelTraining$$|BenchmarkSelectionSerial$$|BenchmarkSelectionParallel$$|BenchmarkSelectionExact$$|BenchmarkCrossValidationSerial$$|BenchmarkCrossValidationParallel$$|BenchmarkQRAppend|BenchmarkFitKernels' .
 
 # Text report of every table and figure.
 report:

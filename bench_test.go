@@ -20,7 +20,9 @@ import (
 	"pmcpower/internal/acquisition"
 	"pmcpower/internal/core"
 	"pmcpower/internal/experiments"
+	"pmcpower/internal/mat"
 	"pmcpower/internal/pmu"
+	"pmcpower/internal/stats"
 	"pmcpower/internal/workloads"
 )
 
@@ -511,3 +513,105 @@ func benchCrossValidation(b *testing.B, parallelism int) {
 
 func BenchmarkCrossValidationSerial(b *testing.B)   { benchCrossValidation(b, 1) }
 func BenchmarkCrossValidationParallel(b *testing.B) { benchCrossValidation(b, 0) }
+
+// benchSelectionExact measures the legacy per-candidate full-OLS
+// selection path (SelectOptions.Exact) — the baseline the fast-fit
+// kernel is compared against. The fast/exact ratio in BENCH_5.json
+// comes from this pair.
+func BenchmarkSelectionExact(b *testing.B) {
+	ctx := sharedCtx(b)
+	ds, err := ctx.SelectionDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		steps, err := core.SelectEvents(ds.Rows, core.SelectOptions{Count: 6, Parallelism: 1, Exact: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(steps) != 6 {
+			b.Fatal("wrong step count")
+		}
+	}
+}
+
+// BenchmarkQRAppend contrasts the O(n·k) column-append trial fit
+// against a from-scratch O(n·k²) decomposition of the same design —
+// the per-candidate cost inside one selection round.
+func BenchmarkQRAppend(b *testing.B) {
+	ctx := sharedCtx(b)
+	ds, err := ctx.SelectionDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := ctx.SelectedEvents()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y, err := core.DesignMatrix(ds.Rows, events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n, k := x.Rows(), x.Cols()
+
+	b.Run("append-last-col", func(b *testing.B) {
+		u := mat.NewUpdQR(n, k)
+		cols := make([][]float64, k)
+		for j := 0; j < k; j++ {
+			cols[j] = x.Col(j)
+		}
+		for j := 0; j < k-1; j++ {
+			u.AppendCol(cols[j])
+		}
+		sol := make([]float64, k)
+		ybuf := make([]float64, n)
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			u.Truncate(k - 1)
+			u.AppendCol(cols[k-1])
+			if err := u.SolveInto(sol, ybuf, y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("fresh-decompose", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := mat.DecomposeQR(x).Solve(y); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
+// BenchmarkFitKernels contrasts the R²-only fast fit against the full
+// inference fit on the training design.
+func BenchmarkFitKernels(b *testing.B) {
+	ctx := sharedCtx(b)
+	ds, err := ctx.FullDataset()
+	if err != nil {
+		b.Fatal(err)
+	}
+	events, err := ctx.SelectedEvents()
+	if err != nil {
+		b.Fatal(err)
+	}
+	x, y, err := core.DesignMatrix(ds.Rows, events)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.Run("FitR2", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.FitR2(x, y, stats.OLSOptions{Intercept: true}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("FitOLS", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := stats.FitOLS(x, y, stats.OLSOptions{Intercept: true, Estimator: stats.CovHC3}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

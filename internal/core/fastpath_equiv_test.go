@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"pmcpower/internal/mat"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/rng"
+	"pmcpower/internal/stats"
+)
+
+// These tests pin the central claim of the fast-fit selection kernel:
+// it is an optimization, not an approximation. Every comparison is
+// bit-level (== / sameFloat), not tolerance-based.
+
+func sameSteps(t *testing.T, name string, a, b []SelectionStep) {
+	t.Helper()
+	if len(a) != len(b) {
+		t.Fatalf("%s: step counts differ: %d vs %d", name, len(a), len(b))
+	}
+	for i := range a {
+		s, p := a[i], b[i]
+		if s.Event != p.Event {
+			t.Fatalf("%s step %d: fast selected %s, exact selected %s",
+				name, i, pmu.Lookup(s.Event).Short, pmu.Lookup(p.Event).Short)
+		}
+		if !sameFloat(s.R2, p.R2) || !sameFloat(s.AdjR2, p.AdjR2) || !sameFloat(s.MeanVIF, p.MeanVIF) {
+			t.Fatalf("%s step %d: metrics differ: %+v vs %+v", name, i, s, p)
+		}
+		if len(s.VIFs) != len(p.VIFs) {
+			t.Fatalf("%s step %d: VIF counts differ", name, i)
+		}
+		for j := range s.VIFs {
+			if !sameFloat(s.VIFs[j], p.VIFs[j]) {
+				t.Fatalf("%s step %d: VIF[%d] differs: %v vs %v", name, i, j, s.VIFs[j], p.VIFs[j])
+			}
+		}
+	}
+}
+
+func TestSelectFastMatchesExact(t *testing.T) {
+	sel, _ := fixtures(t)
+	cases := []struct {
+		name string
+		opts SelectOptions
+	}{
+		{"count6", SelectOptions{Count: 6}},
+		{"count8", SelectOptions{Count: 8}},
+		{"cycleInit", SelectOptions{Count: 3, InitWithCycles: true}},
+		{"parallel", SelectOptions{Count: 6, Parallelism: 4}},
+	}
+	for _, tc := range cases {
+		fast, err := SelectEvents(sel.Rows, tc.opts)
+		if err != nil {
+			t.Fatalf("%s fast: %v", tc.name, err)
+		}
+		exactOpts := tc.opts
+		exactOpts.Exact = true
+		exact, err := SelectEvents(sel.Rows, exactOpts)
+		if err != nil {
+			t.Fatalf("%s exact: %v", tc.name, err)
+		}
+		sameSteps(t, tc.name, fast, exact)
+	}
+}
+
+func TestSelectFastDegenerateMatchesExact(t *testing.T) {
+	// With too few rows for the design, both paths must fail with the
+	// same "no fittable candidate" shape rather than panicking.
+	sel, _ := fixtures(t)
+	rows := sel.Rows[:4] // 4 rows cannot fit intercept+event+V²f+V (k=4)
+	if _, err := SelectEvents(rows, SelectOptions{Count: 1}); err == nil {
+		t.Fatal("fast path must reject an underdetermined dataset")
+	}
+	if _, err := SelectEvents(rows, SelectOptions{Count: 1, Exact: true}); err == nil {
+		t.Fatal("exact path must reject an underdetermined dataset")
+	}
+}
+
+func TestRoundKernelEvalAllocFree(t *testing.T) {
+	// The per-candidate evaluation — truncate, three appends, solve,
+	// R² accumulation — must not allocate: it runs tens of thousands of
+	// times per selection.
+	sel, _ := fixtures(t)
+	cache := NewDatasetCache(sel.Rows)
+	all := pmu.AllIDs()
+	cache.Warm(all)
+	selected := all[:2]
+	n := cache.Len()
+	y := cache.Power()
+	ybar := stats.Mean(y)
+	var sst float64
+	for _, v := range y {
+		d := v - ybar
+		sst += d * d
+	}
+
+	pcols := len(selected) + 1
+	kTot := pcols + 3
+	maxCols := kTot
+	prefix := mat.NewUpdQR(n, maxCols)
+	prefix.AppendCol(cache.Ones())
+	baseCols := [][]float64{cache.Ones()}
+	for _, id := range selected {
+		prefix.AppendCol(cache.EVCol(id))
+		baseCols = append(baseCols, cache.EVCol(id))
+	}
+	rk := &roundKernel{
+		n: n, pcols: pcols, kTot: kTot,
+		y: y, sst: sst,
+		prefix: prefix, baseCols: baseCols,
+		v2f: cache.V2FCol(), volt: cache.VoltCol(),
+	}
+	s := rk.newScratch()
+	cand := cache.EVCol(all[10])
+	allocs := testing.AllocsPerRun(50, func() {
+		if _, _, ok := rk.eval(s, cand); !ok {
+			t.Fatal("eval rejected a fittable candidate")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("roundKernel.eval allocated %v times per run, want 0", allocs)
+	}
+}
+
+func TestDesignSubsetMatchesDesignMatrix(t *testing.T) {
+	// DesignSubset must reproduce prependOnes∘DesignMatrix over the
+	// same rows entry for entry — that is what makes FitR2Design on it
+	// bit-identical to the legacy fold fit.
+	_, full := fixtures(t)
+	events := canonicalEvents()
+	cache := NewDatasetCache(full.Rows)
+	cache.Warm(events)
+
+	idx := make([]int, 0, len(full.Rows)/2)
+	for i := 0; i < len(full.Rows); i += 2 {
+		idx = append(idx, i)
+	}
+	x, y := cache.DesignSubset(events, idx)
+
+	want, wantY, err := DesignMatrix(subset(full.Rows, idx), events)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Rows() != want.Rows() || x.Cols() != want.Cols()+1 {
+		t.Fatalf("shape %dx%d, want %dx%d plus intercept", x.Rows(), x.Cols(), want.Rows(), want.Cols())
+	}
+	for i := 0; i < x.Rows(); i++ {
+		if x.At(i, 0) != 1 {
+			t.Fatalf("row %d: intercept column = %v", i, x.At(i, 0))
+		}
+		for j := 0; j < want.Cols(); j++ {
+			if x.At(i, j+1) != want.At(i, j) {
+				t.Fatalf("entry (%d,%d): subset %v, fresh %v", i, j, x.At(i, j+1), want.At(i, j))
+			}
+		}
+		if y[i] != wantY[i] {
+			t.Fatalf("target %d: subset %v, fresh %v", i, y[i], wantY[i])
+		}
+	}
+}
+
+func TestCrossValidationFoldsMatchFullFits(t *testing.T) {
+	// Each fold's lite fit (cached columns + FitR2Design) must agree
+	// bitwise with a from-scratch Train (full FitOLS) over the same
+	// training rows — the fold is scored by an identical model.
+	_, full := fixtures(t)
+	events := canonicalEvents()
+	const k, seed = 10, 7
+
+	cv, err := CrossValidateP(full.Rows, events, k, seed, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	folds, err := stats.KFold(len(full.Rows), k, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cv.Folds) != len(folds) {
+		t.Fatalf("fold count %d, want %d", len(cv.Folds), len(folds))
+	}
+	for fi, fold := range folds {
+		m, err := Train(subset(full.Rows, fold.Train), events, TrainOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !sameFloat(cv.Folds[fi].TrainR2, m.R2()) || !sameFloat(cv.Folds[fi].TrainAdjR2, m.AdjR2()) {
+			t.Fatalf("fold %d: lite fit (R²=%v Adj=%v) differs from full fit (R²=%v Adj=%v)",
+				fi, cv.Folds[fi].TrainR2, cv.Folds[fi].TrainAdjR2, m.R2(), m.AdjR2())
+		}
+	}
+	// Out-of-fold predictions must likewise match the full-fit models.
+	pi := 0
+	for fi, fold := range folds {
+		m, err := Train(subset(full.Rows, fold.Train), events, TrainOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, ri := range fold.Test {
+			p := cv.Predictions[pi]
+			pi++
+			if p.Row != full.Rows[ri] {
+				t.Fatalf("fold %d: prediction order diverged", fi)
+			}
+			if p.Predicted != m.Predict(full.Rows[ri]) {
+				t.Fatalf("fold %d row %d: lite prediction %v, full %v",
+					fi, ri, p.Predicted, m.Predict(full.Rows[ri]))
+			}
+		}
+	}
+}

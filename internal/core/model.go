@@ -66,16 +66,24 @@ func TrainCtx(ctx context.Context, rows []*acquisition.Row, events []pmu.EventID
 		return nil, fmt.Errorf("core: training failed for events %v: %w", pmu.ShortNames(events), err)
 	}
 	span.SetAttr(obs.Float("r2", fit.R2))
+	return modelFromCoeffs(events, fit.Coeffs, fit), nil
+}
+
+// modelFromCoeffs maps Equation-1 design coefficients (intercept
+// first, then the k event features, V²f, V) onto the named model
+// terms. fit may be nil for scoring-only fits produced by the fast
+// kernel (cross-validation folds, scenario holdouts) — such models are
+// used for prediction only and never escape the package.
+func modelFromCoeffs(events []pmu.EventID, coeffs []float64, fit *stats.OLSResult) *Model {
 	k := len(events)
-	m := &Model{
+	return &Model{
 		Events: append([]pmu.EventID(nil), events...),
-		Alpha:  append([]float64(nil), fit.Coeffs[1:1+k]...),
-		Beta:   fit.Coeffs[1+k],
-		Gamma:  fit.Coeffs[2+k],
-		Delta:  fit.Coeffs[0],
+		Alpha:  append([]float64(nil), coeffs[1:1+k]...),
+		Beta:   coeffs[1+k],
+		Gamma:  coeffs[2+k],
+		Delta:  coeffs[0],
 		Fit:    fit,
 	}
-	return m, nil
 }
 
 // R2 returns the in-sample coefficient of determination.

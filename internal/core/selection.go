@@ -6,6 +6,7 @@ import (
 	"math"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/mat"
 	"pmcpower/internal/obs"
 	"pmcpower/internal/parallel"
 	"pmcpower/internal/pmu"
@@ -43,6 +44,13 @@ type SelectOptions struct {
 	// the accuracy of the resulting model significantly"); the flag
 	// exists for the ablation experiment.
 	InitWithCycles bool
+	// Exact forces the legacy per-candidate full-OLS path (every trial
+	// fit pays for the covariance apparatus and rebuilds its design
+	// from rows) instead of the fast-fit kernel. The two paths produce
+	// bit-identical selections — Exact exists as the escape hatch the
+	// equivalence tests compare against, and as a fallback should a
+	// platform ever surface a numeric divergence.
+	Exact bool
 	// Parallelism bounds the workers evaluating the independent
 	// candidate fits of each round (and the VIF auxiliary
 	// regressions): 0 = GOMAXPROCS, 1 = serial. The selection result
@@ -64,6 +72,19 @@ func SelectEvents(rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep,
 // winning event) and a "selection.vif" child per VIF computation.
 // Span emission stays off the numeric path, so the selected events
 // are bit-identical with or without a tracer.
+//
+// By default the per-candidate trial fits run on the fast-fit kernel:
+// the shared design-matrix prefix (intercept + already-selected event
+// features) is QR-factored once per round, each candidate appends its
+// three remaining columns to a per-worker copy in O(n·k) (see
+// mat.UpdQR), and only coefficients and R²/Adj.R² are computed — the
+// covariance sandwich, leverages and t/p statistics that candidate
+// scoring discards are skipped. The kernel's arithmetic is operation
+// for operation the one FitOLS performs on the full design, so the
+// selected sequence and the recorded R²/Adj.R² values are
+// bit-identical to the legacy path (enforced by equivalence tests);
+// opts.Exact forces the legacy full-OLS path should an escape hatch
+// ever be needed.
 func SelectEventsCtx(ctx context.Context, rows []*acquisition.Row, opts SelectOptions) ([]SelectionStep, error) {
 	if opts.Count < 1 {
 		return nil, fmt.Errorf("core: SelectEvents needs Count >= 1, got %d", opts.Count)
@@ -84,41 +105,282 @@ func SelectEventsCtx(ctx context.Context, rows []*acquisition.Row, opts SelectOp
 		obs.Int("count", opts.Count), obs.Int("candidates", len(candidates)))
 	defer selSpan.End()
 
-	selected := make([]pmu.EventID, 0, opts.Count)
-	inSelected := make(map[pmu.EventID]bool)
-	var steps []SelectionStep
+	run := &selectionRun{
+		rows:        rows,
+		cache:       NewDatasetCache(rows),
+		opts:        opts,
+		candidates:  candidates,
+		inSelected:  make(map[pmu.EventID]bool),
+		selected:    make([]pmu.EventID, 0, opts.Count),
+		parallelism: opts.Parallelism,
+	}
+	if opts.Exact {
+		return run.selectExact(ctx)
+	}
+	return run.selectFast(ctx)
+}
 
-	appendStep := func(id pmu.EventID, r2, adjR2 float64) error {
-		selected = append(selected, id)
-		inSelected[id] = true
-		step := SelectionStep{Event: id, R2: r2, AdjR2: adjR2, MeanVIF: math.NaN()}
-		if len(selected) >= 2 {
-			_, vifSpan := tracer.StartSpan(ctx, "selection.vif", obs.Int("events", len(selected)))
-			vifs, err := stats.VIFP(RateMatrix(rows, selected), opts.Parallelism)
-			vifSpan.End()
-			if err != nil {
-				// A perfectly collinear addition: report +Inf rather
-				// than failing — the paper's workflow needs to *see*
-				// the blow-up.
-				vifs = make([]float64, len(selected))
-				for i := range vifs {
-					vifs[i] = math.Inf(1)
-				}
+// selectionRun carries the state shared by the fast and exact greedy
+// loops: the selected set, the recorded steps, and the per-dataset
+// column cache that the candidate designs and the VIF auxiliary
+// regressions are assembled from.
+type selectionRun struct {
+	rows        []*acquisition.Row
+	cache       *DatasetCache
+	opts        SelectOptions
+	candidates  []pmu.EventID
+	selected    []pmu.EventID
+	inSelected  map[pmu.EventID]bool
+	steps       []SelectionStep
+	parallelism int
+}
+
+// appendStep records a selection winner and its post-addition VIFs.
+// The VIF design is a view of the cached rate columns — no per-step
+// RateMatrix rebuild.
+func (run *selectionRun) appendStep(ctx context.Context, id pmu.EventID, r2, adjR2 float64) {
+	run.selected = append(run.selected, id)
+	run.inSelected[id] = true
+	step := SelectionStep{Event: id, R2: r2, AdjR2: adjR2, MeanVIF: math.NaN()}
+	if len(run.selected) >= 2 {
+		_, vifSpan := obs.FromContext(ctx).StartSpan(ctx, "selection.vif", obs.Int("events", len(run.selected)))
+		vifs, err := stats.VIFColumns(run.cache.RateColumns(run.selected), run.parallelism)
+		vifSpan.End()
+		if err != nil {
+			// A perfectly collinear addition: report +Inf rather
+			// than failing — the paper's workflow needs to *see*
+			// the blow-up.
+			vifs = make([]float64, len(run.selected))
+			for i := range vifs {
+				vifs[i] = math.Inf(1)
 			}
-			step.VIFs = vifs
-			step.MeanVIF = stats.Mean(vifs)
 		}
-		steps = append(steps, step)
-		return nil
+		step.VIFs = vifs
+		step.MeanVIF = stats.Mean(vifs)
+	}
+	run.steps = append(run.steps, step)
+}
+
+// seedWithCycles performs the optional cycle-counter initialization
+// (one full fit — not a hot path).
+func (run *selectionRun) seedWithCycles(ctx context.Context) error {
+	cyc := pmu.MustByName("TOT_CYC").ID
+	m, err := Train(run.rows, []pmu.EventID{cyc}, TrainOptions{})
+	if err != nil {
+		return err
+	}
+	run.appendStep(ctx, cyc, m.R2(), m.AdjR2())
+	return nil
+}
+
+// candFit is one candidate's trial-fit score.
+type candFit struct {
+	r2, adjR2 float64
+	ok        bool
+}
+
+// reduceRound picks the round winner in candidate order with a strict
+// > comparison, reproducing the serial loop's tie-breaking exactly.
+func (run *selectionRun) reduceRound(fits []candFit) (pmu.EventID, float64, float64, error) {
+	bestR2 := math.Inf(-1)
+	bestAdj := 0.0
+	var bestEvent pmu.EventID = -1
+	for ci, f := range fits {
+		if !f.ok {
+			continue
+		}
+		if f.r2 > bestR2 {
+			bestR2 = f.r2
+			bestAdj = f.adjR2
+			bestEvent = run.candidates[ci]
+		}
+	}
+	if bestEvent < 0 {
+		return -1, 0, 0, fmt.Errorf("core: no fittable candidate left after %d selections", len(run.selected))
+	}
+	return bestEvent, bestR2, bestAdj, nil
+}
+
+// --- fast path ---------------------------------------------------------
+
+// candScratch is the per-worker state of the fast candidate loop: a
+// private copy of the round's prefix factorization plus solve and
+// accumulation buffers. All fields are scratch — every value a task
+// reads is written by that task (or copied from the immutable round
+// prefix before the fan-out), preserving the determinism contract.
+type candScratch struct {
+	uq     *mat.UpdQR
+	coeffs []float64
+	ybuf   []float64
+	cols   [][]float64
+}
+
+// roundKernel evaluates candidates for one greedy round against the
+// shared prefix factorization.
+type roundKernel struct {
+	n, pcols, kTot int
+	y              []float64
+	sst            float64
+	prefix         *mat.UpdQR
+	baseCols       [][]float64 // column views of the prefix design
+	v2f, volt      []float64
+}
+
+func (rk *roundKernel) newScratch() *candScratch {
+	s := &candScratch{
+		uq:     mat.NewUpdQR(rk.n, rk.prefix.Cap()),
+		coeffs: make([]float64, rk.kTot),
+		ybuf:   make([]float64, rk.n),
+		cols:   make([][]float64, rk.kTot),
+	}
+	s.uq.CopyFrom(rk.prefix)
+	copy(s.cols[:rk.pcols], rk.baseCols)
+	s.cols[rk.kTot-2] = rk.v2f
+	s.cols[rk.kTot-1] = rk.volt
+	return s
+}
+
+// eval scores one candidate: append its three trailing columns to the
+// prefix, solve, and compute R²/Adj.R² with the exact arithmetic of
+// fitOLSCore (same accumulation orders), so the score is bit-identical
+// to a full FitOLS of the candidate design. ok=false mirrors the
+// conditions under which FitOLS returns ErrDegenerate (n <= k or a
+// rank-deficient design at the same tolerance) — the legacy loop
+// skipped those candidates, and so does this one. The whole evaluation
+// is allocation-free (gated by testing.AllocsPerRun).
+func (rk *roundKernel) eval(s *candScratch, evCand []float64) (r2, adjR2 float64, ok bool) {
+	n, kTot := rk.n, rk.kTot
+	if n <= kTot {
+		return 0, 0, false
+	}
+	s.uq.Truncate(rk.pcols)
+	s.uq.AppendCol(evCand)
+	s.uq.AppendCol(rk.v2f)
+	s.uq.AppendCol(rk.volt)
+	if err := s.uq.SolveInto(s.coeffs, s.ybuf, rk.y); err != nil {
+		return 0, 0, false
+	}
+	s.cols[rk.pcols] = evCand
+
+	// Fitted values and the residual sum of squares, accumulated in
+	// the same element order as design.MulVec + the residual loop in
+	// fitOLSCore.
+	var ssr float64
+	for i := 0; i < n; i++ {
+		var f float64
+		for j := 0; j < kTot; j++ {
+			f += s.cols[j][i] * s.coeffs[j]
+		}
+		r := rk.y[i] - f
+		ssr += r * r
+	}
+	if rk.sst > 0 {
+		r2 = 1 - ssr/rk.sst
+		dfTotal := float64(n - 1)
+		adjR2 = 1 - (1-r2)*dfTotal/float64(n-kTot)
+	}
+	return r2, adjR2, true
+}
+
+func (run *selectionRun) selectFast(ctx context.Context) ([]SelectionStep, error) {
+	opts := run.opts
+	cache := run.cache
+	n := cache.Len()
+	y := cache.Power()
+
+	// Warm every column the fan-out will read, so workers never
+	// mutate the cache.
+	cache.Warm(run.candidates)
+	evAll := make([][]float64, len(run.candidates))
+	for ci, cand := range run.candidates {
+		evAll[ci] = cache.EVCol(cand)
+	}
+
+	// The centered total sum of squares is a property of y alone; every
+	// candidate fit of the legacy path recomputed the identical value.
+	ybar := stats.Mean(y)
+	var sst float64
+	for _, v := range y {
+		d := v - ybar
+		sst += d * d
 	}
 
 	if opts.InitWithCycles {
-		cyc := pmu.MustByName("TOT_CYC").ID
-		m, err := Train(rows, []pmu.EventID{cyc}, TrainOptions{})
-		if err != nil {
+		if err := run.seedWithCycles(ctx); err != nil {
 			return nil, err
 		}
-		if err := appendStep(cyc, m.R2(), m.AdjR2()); err != nil {
+	}
+
+	maxCols := opts.Count + 3 // intercept + Count event features + V²f + V
+	prefix := mat.NewUpdQR(n, maxCols)
+	baseCols := make([][]float64, 0, maxCols)
+
+	for len(run.selected) < opts.Count {
+		rctx, roundSpan := obs.FromContext(ctx).StartSpan(ctx, "selection.round", obs.Int("round", len(run.selected)+1))
+
+		pcols := len(run.selected) + 1
+		kTot := pcols + 3
+		if n <= kTot {
+			// Every candidate design would be underdetermined — the
+			// exact condition under which the legacy loop found no
+			// fittable candidate.
+			roundSpan.End()
+			return nil, fmt.Errorf("core: no fittable candidate left after %d selections", len(run.selected))
+		}
+
+		// Factor the shared prefix [1, E·V²f of selected…] once; every
+		// candidate design this round extends it by three columns.
+		prefix.Reset()
+		prefix.AppendCol(cache.Ones())
+		baseCols = append(baseCols[:0], cache.Ones())
+		for _, id := range run.selected {
+			col := cache.EVCol(id)
+			prefix.AppendCol(col)
+			baseCols = append(baseCols, col)
+		}
+
+		rk := &roundKernel{
+			n: n, pcols: pcols, kTot: kTot,
+			y: y, sst: sst,
+			prefix: prefix, baseCols: baseCols,
+			v2f: cache.V2FCol(), volt: cache.VoltCol(),
+		}
+		fits, err := parallel.MapWorkers(rctx, len(run.candidates), run.parallelism,
+			func(int) *candScratch { return rk.newScratch() },
+			func(_ context.Context, s *candScratch, ci int) (candFit, error) {
+				if run.inSelected[run.candidates[ci]] {
+					return candFit{}, nil
+				}
+				r2, adj, ok := rk.eval(s, evAll[ci])
+				return candFit{r2: r2, adjR2: adj, ok: ok}, nil
+			})
+		if err != nil {
+			roundSpan.End()
+			return nil, err
+		}
+		bestEvent, bestR2, bestAdj, err := run.reduceRound(fits)
+		if err != nil {
+			roundSpan.End()
+			return nil, err
+		}
+		run.appendStep(ctx, bestEvent, bestR2, bestAdj)
+		roundSpan.SetAttr(obs.String("selected", pmu.Lookup(bestEvent).Short), obs.Float("r2", bestR2))
+		roundSpan.End()
+	}
+	return run.steps, nil
+}
+
+// --- exact legacy path -------------------------------------------------
+
+// selectExact is the escape hatch: per-candidate full OLS fits via
+// Train, exactly as the pre-kernel implementation ran them. The only
+// optimization it keeps is a per-worker trial-event buffer (the old
+// loop allocated a fresh slice per candidate per round).
+func (run *selectionRun) selectExact(ctx context.Context) ([]SelectionStep, error) {
+	opts := run.opts
+
+	if opts.InitWithCycles {
+		if err := run.seedWithCycles(ctx); err != nil {
 			return nil, err
 		}
 	}
@@ -127,57 +389,41 @@ func SelectEventsCtx(ctx context.Context, rows []*acquisition.Row, opts SelectOp
 	// paper's 54 independent OLS fits per round); the winner is then
 	// reduced serially in candidate order with a strict > comparison,
 	// which reproduces the serial loop's tie-breaking exactly.
-	type candFit struct {
-		r2, adjR2 float64
-		ok        bool
-	}
-	for len(selected) < opts.Count {
-		rctx, roundSpan := tracer.StartSpan(ctx, "selection.round", obs.Int("round", len(selected)+1))
-		fits, err := parallel.Map(rctx, len(candidates), opts.Parallelism, func(ci int) (candFit, error) {
-			cand := candidates[ci]
-			if inSelected[cand] {
-				return candFit{}, nil
-			}
-			trial := append(append([]pmu.EventID(nil), selected...), cand)
-			m, err := Train(rows, trial, TrainOptions{})
-			if err != nil {
-				// Candidate makes the design rank-deficient (e.g. a
-				// counter that is an exact linear combination of the
-				// selected ones) — skip it, exactly as a statsmodels
-				// workflow would discard a failed fit.
-				return candFit{}, nil
-			}
-			return candFit{r2: m.R2(), adjR2: m.AdjR2(), ok: true}, nil
-		})
+	for len(run.selected) < opts.Count {
+		rctx, roundSpan := obs.FromContext(ctx).StartSpan(ctx, "selection.round", obs.Int("round", len(run.selected)+1))
+		fits, err := parallel.MapWorkers(rctx, len(run.candidates), run.parallelism,
+			func(int) []pmu.EventID { return make([]pmu.EventID, 0, opts.Count) },
+			func(_ context.Context, trial []pmu.EventID, ci int) (candFit, error) {
+				cand := run.candidates[ci]
+				if run.inSelected[cand] {
+					return candFit{}, nil
+				}
+				trial = append(trial[:0], run.selected...)
+				trial = append(trial, cand)
+				m, err := Train(run.rows, trial, TrainOptions{})
+				if err != nil {
+					// Candidate makes the design rank-deficient (e.g. a
+					// counter that is an exact linear combination of the
+					// selected ones) — skip it, exactly as a statsmodels
+					// workflow would discard a failed fit.
+					return candFit{}, nil
+				}
+				return candFit{r2: m.R2(), adjR2: m.AdjR2(), ok: true}, nil
+			})
 		if err != nil {
 			roundSpan.End()
 			return nil, err
 		}
-		bestR2 := math.Inf(-1)
-		bestAdj := 0.0
-		var bestEvent pmu.EventID = -1
-		for ci, f := range fits {
-			if !f.ok {
-				continue
-			}
-			if f.r2 > bestR2 {
-				bestR2 = f.r2
-				bestAdj = f.adjR2
-				bestEvent = candidates[ci]
-			}
-		}
-		if bestEvent < 0 {
+		bestEvent, bestR2, bestAdj, err := run.reduceRound(fits)
+		if err != nil {
 			roundSpan.End()
-			return nil, fmt.Errorf("core: no fittable candidate left after %d selections", len(selected))
+			return nil, err
 		}
-		err = appendStep(bestEvent, bestR2, bestAdj)
+		run.appendStep(ctx, bestEvent, bestR2, bestAdj)
 		roundSpan.SetAttr(obs.String("selected", pmu.Lookup(bestEvent).Short), obs.Float("r2", bestR2))
 		roundSpan.End()
-		if err != nil {
-			return nil, err
-		}
 	}
-	return steps, nil
+	return run.steps, nil
 }
 
 // Events extracts the selected event IDs from selection steps, in

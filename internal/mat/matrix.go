@@ -119,6 +119,17 @@ func (m *Matrix) Col(j int) []float64 {
 	return out
 }
 
+// RowView returns row i as a slice aliasing the matrix storage — no
+// copy. The caller must treat it as read-only; writes alias the
+// matrix. It exists for allocation-free inner loops (the OLS leverage
+// computation walks every design row once per fit).
+func (m *Matrix) RowView(i int) []float64 {
+	if i < 0 || i >= m.rows {
+		panic(fmt.Sprintf("mat: row %d out of range", i))
+	}
+	return m.data[i*m.cols : (i+1)*m.cols]
+}
+
 // Clone returns a deep copy of m.
 func (m *Matrix) Clone() *Matrix {
 	c := New(m.rows, m.cols)
@@ -174,6 +185,59 @@ func (m *Matrix) MulVec(x []float64) []float64 {
 			s += v * x[j]
 		}
 		out[i] = s
+	}
+	return out
+}
+
+// MulVecInto is MulVec writing into a caller-provided slice of length
+// Rows — the allocation-free variant for hot loops. The accumulation
+// order matches MulVec exactly, so results are bit-identical.
+func (m *Matrix) MulVecInto(dst, x []float64) {
+	if len(x) != m.cols {
+		panic(fmt.Sprintf("mat: MulVecInto length mismatch: %d columns, vector of %d", m.cols, len(x)))
+	}
+	if len(dst) != m.rows {
+		panic(fmt.Sprintf("mat: MulVecInto destination length %d, want %d rows", len(dst), m.rows))
+	}
+	for i := 0; i < m.rows; i++ {
+		row := m.data[i*m.cols : (i+1)*m.cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// WeightedCross computes Xᵀ·diag(w)·X for the n×k matrix x without
+// materializing the scaled copy or the transpose. It reproduces the
+// exact floating-point result of
+//
+//	Mul(x.T(), x.Clone().ScaleRows(w))
+//
+// — each output entry accumulates the terms x[i][j1]·(x[i][j2]·w[i])
+// over rows i in ascending order with the same zero-skip Mul applies —
+// so switching the HC covariance "meat" to it leaves fitted models
+// bit-identical while saving two n×k temporaries per fit.
+func WeightedCross(x *Matrix, w []float64) *Matrix {
+	if len(w) != x.rows {
+		panic("mat: WeightedCross weight length mismatch")
+	}
+	k := x.cols
+	out := New(k, k)
+	for j1 := 0; j1 < k; j1++ {
+		orow := out.data[j1*k : (j1+1)*k]
+		for i := 0; i < x.rows; i++ {
+			av := x.data[i*x.cols+j1]
+			if av == 0 {
+				continue
+			}
+			xrow := x.data[i*x.cols : (i+1)*x.cols]
+			wi := w[i]
+			for j2, xv := range xrow {
+				orow[j2] += av * (xv * wi)
+			}
+		}
 	}
 	return out
 }

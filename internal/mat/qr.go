@@ -33,33 +33,43 @@ func DecomposeQR(a *Matrix) *QR {
 	}
 	qr := a.Clone()
 	rdia := make([]float64, n)
+	// The loops below index qr.data directly (entry (i,j) lives at
+	// i*n+j): the decomposition is the single hottest kernel in the
+	// selection and cross-validation paths, and the bounds-checked
+	// At/Set accessors dominate its runtime. The floating-point
+	// operations and their order are exactly those of the textbook
+	// formulation, so results are bit-identical to the accessor-based
+	// version.
+	d := qr.data
+	end := m * n
 
 	for k := 0; k < n; k++ {
+		kk := k*n + k
 		// Compute the 2-norm of column k below the diagonal, with
 		// scaling to avoid overflow.
 		var nrm float64
-		for i := k; i < m; i++ {
-			nrm = math.Hypot(nrm, qr.At(i, k))
+		for idx := kk; idx < end; idx += n {
+			nrm = math.Hypot(nrm, d[idx])
 		}
 		if nrm != 0 {
 			// Choose sign to avoid cancellation.
-			if qr.At(k, k) < 0 {
+			if d[kk] < 0 {
 				nrm = -nrm
 			}
-			for i := k; i < m; i++ {
-				qr.Set(i, k, qr.At(i, k)/nrm)
+			for idx := kk; idx < end; idx += n {
+				d[idx] /= nrm
 			}
-			qr.Set(k, k, qr.At(k, k)+1)
+			d[kk]++
 
 			// Apply the Householder reflector to the remaining columns.
 			for j := k + 1; j < n; j++ {
 				var s float64
-				for i := k; i < m; i++ {
-					s += qr.At(i, k) * qr.At(i, j)
+				for u, v := kk, k*n+j; u < end; u, v = u+n, v+n {
+					s += d[u] * d[v]
 				}
-				s = -s / qr.At(k, k)
-				for i := k; i < m; i++ {
-					qr.Set(i, j, qr.At(i, j)+s*qr.At(i, k))
+				s = -s / d[kk]
+				for u, v := kk, k*n+j; u < end; u, v = u+n, v+n {
+					d[v] += s * d[u]
 				}
 			}
 		}
@@ -121,25 +131,30 @@ func (d *QR) Solve(b []float64) ([]float64, error) {
 	}
 	y := make([]float64, d.m)
 	copy(y, b)
+	q := d.qr.data
+	n := d.n
 
-	// y = Qᵀ b, applying the stored reflectors in order.
-	for k := 0; k < d.n; k++ {
+	// y = Qᵀ b, applying the stored reflectors in order. As in
+	// DecomposeQR, the reflector columns are walked via raw indices
+	// (stride n) with unchanged arithmetic.
+	for k := 0; k < n; k++ {
+		kk := k*n + k
 		var s float64
-		for i := k; i < d.m; i++ {
-			s += d.qr.At(i, k) * y[i]
+		for i, idx := k, kk; i < d.m; i, idx = i+1, idx+n {
+			s += q[idx] * y[i]
 		}
-		s = -s / d.qr.At(k, k)
-		for i := k; i < d.m; i++ {
-			y[i] += s * d.qr.At(i, k)
+		s = -s / q[kk]
+		for i, idx := k, kk; i < d.m; i, idx = i+1, idx+n {
+			y[i] += s * q[idx]
 		}
 	}
 
 	// Back substitution: R x = y[:n].
-	x := make([]float64, d.n)
-	for k := d.n - 1; k >= 0; k-- {
+	x := make([]float64, n)
+	for k := n - 1; k >= 0; k-- {
 		s := y[k]
-		for j := k + 1; j < d.n; j++ {
-			s -= d.qr.At(k, j) * x[j]
+		for j := k + 1; j < n; j++ {
+			s -= q[k*n+j] * x[j]
 		}
 		x[k] = s / d.rdia[k]
 	}

@@ -1,0 +1,228 @@
+package mat
+
+import (
+	"fmt"
+	"math"
+)
+
+// UpdQR is an updatable Householder QR decomposition that supports
+// appending columns one at a time. It exists for the selection hot
+// path: Algorithm 1 refits the Equation-1 model once per candidate per
+// round, but all candidate designs of a round share the same leading
+// columns. Factoring the shared prefix once and appending the few
+// per-candidate columns turns each trial fit from O(n·k²) into O(n·k).
+//
+// Householder QR processes columns strictly left to right: the
+// reflector of column j depends only on columns 0..j. Appending a
+// column therefore applies the stored reflectors to it in order and
+// then forms its own reflector — the exact per-column operation
+// sequence DecomposeQR performs — so the factorization obtained by
+// appends is bit-identical to DecomposeQR of the full matrix, and
+// Truncate can drop trailing columns in O(1) because an append never
+// writes outside its own column.
+//
+// Storage is column-major (one contiguous slice per column position),
+// which keeps appends and solves cache-friendly; the arithmetic is
+// layout-independent, so bit-identity with the row-major DecomposeQR
+// holds regardless.
+//
+// UpdQR is not safe for concurrent use; the selection path gives each
+// worker its own copy of the shared prefix (see CopyFrom).
+type UpdQR struct {
+	m, n, capCols int
+	// col[j*m : (j+1)*m] stores column j: R entries in rows < j, the
+	// Householder vector in rows >= j (LAPACK-style compact storage,
+	// same convention as QR.qr).
+	col  []float64
+	rdia []float64 // diagonal of R, -nrm of each reflector
+}
+
+// NewUpdQR returns an empty updatable decomposition for matrices with
+// m rows and capacity for up to capCols appended columns.
+func NewUpdQR(m, capCols int) *UpdQR {
+	if m <= 0 || capCols <= 0 {
+		panic(fmt.Sprintf("mat: NewUpdQR invalid dimensions m=%d cap=%d", m, capCols))
+	}
+	return &UpdQR{
+		m:       m,
+		capCols: capCols,
+		col:     make([]float64, m*capCols),
+		rdia:    make([]float64, capCols),
+	}
+}
+
+// Rows returns the row count of the decomposed matrix.
+func (u *UpdQR) Rows() int { return u.m }
+
+// Cols returns the number of columns currently factored.
+func (u *UpdQR) Cols() int { return u.n }
+
+// Cap returns the column capacity.
+func (u *UpdQR) Cap() int { return u.capCols }
+
+// Reset drops every column, returning the decomposition to the empty
+// state without releasing storage.
+func (u *UpdQR) Reset() { u.n = 0 }
+
+// Truncate drops trailing columns so that n remain. It is O(1):
+// appending a column never modifies the storage of earlier columns,
+// so the prefix factorization is still intact.
+func (u *UpdQR) Truncate(n int) {
+	if n < 0 || n > u.n {
+		panic(fmt.Sprintf("mat: Truncate to %d columns, have %d", n, u.n))
+	}
+	u.n = n
+}
+
+// CopyFrom makes u an exact copy of src's current factorization. The
+// row counts must match and u's capacity must hold src's columns; u's
+// capacity is unchanged. Used to hand each selection worker its own
+// copy of the shared per-round prefix.
+func (u *UpdQR) CopyFrom(src *UpdQR) {
+	if u.m != src.m {
+		panic(fmt.Sprintf("mat: CopyFrom row mismatch %d vs %d", u.m, src.m))
+	}
+	if src.n > u.capCols {
+		panic(fmt.Sprintf("mat: CopyFrom needs capacity %d, have %d", src.n, u.capCols))
+	}
+	u.n = src.n
+	copy(u.col[:src.n*u.m], src.col[:src.n*src.m])
+	copy(u.rdia[:src.n], src.rdia[:src.n])
+}
+
+// AppendCol appends one column to the factorization: the stored
+// reflectors are applied to it in order, then its own reflector is
+// formed. The arithmetic is identical to what DecomposeQR performs on
+// that column, so the resulting factorization matches a fresh
+// decomposition bit for bit. Appending must leave at least one more
+// row than column for the decomposition to stay overdetermined; that
+// invariant is the caller's (checked in Solve via the rank test, and
+// by construction in the selection path).
+func (u *UpdQR) AppendCol(c []float64) {
+	if len(c) != u.m {
+		panic(fmt.Sprintf("mat: AppendCol length %d, want %d rows", len(c), u.m))
+	}
+	if u.n >= u.capCols {
+		panic(fmt.Sprintf("mat: AppendCol beyond capacity %d", u.capCols))
+	}
+	if u.n >= u.m {
+		panic(fmt.Sprintf("mat: AppendCol would make a %dx%d underdetermined system", u.m, u.n+1))
+	}
+	m, j := u.m, u.n
+	dst := u.col[j*m : (j+1)*m]
+	copy(dst, c)
+
+	// Apply the existing reflectors in order. DecomposeQR skips the
+	// reflector of a zero column (nrm == 0, i.e. rdia == 0); match that
+	// exactly.
+	for k := 0; k < j; k++ {
+		if u.rdia[k] == 0 {
+			continue
+		}
+		ck := u.col[k*m : (k+1)*m]
+		var s float64
+		for i := k; i < m; i++ {
+			s += ck[i] * dst[i]
+		}
+		s = -s / ck[k]
+		for i := k; i < m; i++ {
+			dst[i] += s * ck[i]
+		}
+	}
+
+	// Form the new reflector — the same scaled-Hypot norm and
+	// sign-to-avoid-cancellation choice as DecomposeQR.
+	var nrm float64
+	for i := j; i < m; i++ {
+		nrm = math.Hypot(nrm, dst[i])
+	}
+	if nrm != 0 {
+		if dst[j] < 0 {
+			nrm = -nrm
+		}
+		for i := j; i < m; i++ {
+			dst[i] /= nrm
+		}
+		dst[j]++
+	}
+	u.rdia[j] = -nrm
+	u.n = j + 1
+}
+
+// IsFullRank reports whether all diagonal entries of R are comfortably
+// above zero relative to the largest one (same criterion as QR).
+func (u *UpdQR) IsFullRank(tol float64) bool {
+	var maxd float64
+	for _, v := range u.rdia[:u.n] {
+		if a := math.Abs(v); a > maxd {
+			maxd = a
+		}
+	}
+	if maxd == 0 {
+		return false
+	}
+	for _, v := range u.rdia[:u.n] {
+		if math.Abs(v) <= tol*maxd {
+			return false
+		}
+	}
+	return true
+}
+
+// SolveInto finds x minimizing ‖Ax − b‖₂ for the currently factored A,
+// writing the solution into x (length Cols) and using ybuf (length
+// Rows) as scratch — no allocation. b is not modified. It returns
+// ErrSingular under the same relative 1e-12 rank tolerance as
+// QR.Solve, and performs the identical reflector-application and
+// back-substitution arithmetic, so solutions are bit-identical to a
+// fresh decomposition's.
+func (u *UpdQR) SolveInto(x, ybuf, b []float64) error {
+	if len(b) != u.m {
+		return fmt.Errorf("mat: SolveInto length mismatch: matrix has %d rows, b has %d", u.m, len(b))
+	}
+	if len(x) != u.n {
+		return fmt.Errorf("mat: SolveInto solution length %d, want %d", len(x), u.n)
+	}
+	if len(ybuf) != u.m {
+		return fmt.Errorf("mat: SolveInto scratch length %d, want %d", len(ybuf), u.m)
+	}
+	if !u.IsFullRank(1e-12) {
+		return ErrSingular
+	}
+	m := u.m
+	copy(ybuf, b)
+
+	// y = Qᵀ b, applying the stored reflectors in order.
+	for k := 0; k < u.n; k++ {
+		ck := u.col[k*m : (k+1)*m]
+		var s float64
+		for i := k; i < m; i++ {
+			s += ck[i] * ybuf[i]
+		}
+		s = -s / ck[k]
+		for i := k; i < m; i++ {
+			ybuf[i] += s * ck[i]
+		}
+	}
+
+	// Back substitution: R x = y[:n]. R's strict upper triangle lives
+	// in rows < j of column j (R[k][j] = col[j*m+k] for k < j).
+	for k := u.n - 1; k >= 0; k-- {
+		s := ybuf[k]
+		for j := k + 1; j < u.n; j++ {
+			s -= u.col[j*m+k] * x[j]
+		}
+		x[k] = s / u.rdia[k]
+	}
+	return nil
+}
+
+// Solve is SolveInto with freshly allocated solution and scratch.
+func (u *UpdQR) Solve(b []float64) ([]float64, error) {
+	x := make([]float64, u.n)
+	ybuf := make([]float64, u.m)
+	if err := u.SolveInto(x, ybuf, b); err != nil {
+		return nil, err
+	}
+	return x, nil
+}

@@ -80,6 +80,25 @@ func Map[T any](ctx context.Context, n, parallelism int, fn func(i int) (T, erro
 // side buffer only; results remain bit-identical to the serial loop
 // whether or not a tracer is attached.
 func MapCtx[T any](ctx context.Context, n, parallelism int, fn func(ctx context.Context, i int) (T, error)) ([]T, error) {
+	return MapWorkers(ctx, n, parallelism,
+		func(int) struct{} { return struct{}{} },
+		func(ctx context.Context, _ struct{}, i int) (T, error) {
+			return fn(ctx, i)
+		})
+}
+
+// MapWorkers is MapCtx with per-worker state: newState(w) runs once on
+// each worker goroutine (serial mode runs it once with w = 0) and its
+// result is handed to every task that worker executes. It exists for
+// allocation-free hot loops — scratch buffers, reusable
+// decompositions — that would otherwise be reallocated per task or
+// contended across workers.
+//
+// The determinism contract is unchanged and puts one obligation on the
+// caller: task results must not depend on which worker (and therefore
+// which state value) ran them. State is scratch, not input — every
+// byte a task reads from it must have been written by that same task.
+func MapWorkers[S, T any](ctx context.Context, n, parallelism int, newState func(w int) S, fn func(ctx context.Context, state S, i int) (T, error)) ([]T, error) {
 	if n <= 0 {
 		return nil, ctx.Err()
 	}
@@ -92,12 +111,13 @@ func MapCtx[T any](ctx context.Context, n, parallelism int, fn func(ctx context.
 	sweepsTotal.Inc()
 
 	if workers == 1 {
+		state := newState(0)
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
 			tasksTotal.Inc()
-			v, err := fn(ctx, i)
+			v, err := fn(ctx, state, i)
 			if err != nil {
 				taskFailures.Inc()
 				return nil, err
@@ -125,6 +145,7 @@ func MapCtx[T any](ctx context.Context, n, parallelism int, fn func(ctx context.
 			// worker ran and when it idled.
 			wctx, wspan := tracer.StartLane(cctx, "parallel.worker", obs.Int("worker", w))
 			defer wspan.End()
+			state := newState(w)
 			for {
 				i := int(atomic.AddInt64(&next, 1))
 				if i >= n {
@@ -134,7 +155,7 @@ func MapCtx[T any](ctx context.Context, n, parallelism int, fn func(ctx context.
 					return
 				}
 				tasksTotal.Inc()
-				v, err := fn(wctx, i)
+				v, err := fn(wctx, state, i)
 				if err != nil {
 					taskFailures.Inc()
 					mu.Lock()

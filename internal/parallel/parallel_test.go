@@ -231,3 +231,90 @@ func TestEngineCounters(t *testing.T) {
 		t.Fatalf("taskFailures moved by %d, want 1", got)
 	}
 }
+
+func TestMapWorkersPerWorkerState(t *testing.T) {
+	// Each worker must receive exactly one state value from newState and
+	// use it for every task it runs; results must land in index order
+	// regardless of which worker computed them.
+	const n = 200
+	for _, p := range []int{1, 2, 4, 8} {
+		var created atomic.Int32
+		type scratch struct{ buf []int }
+		got, err := MapWorkers(context.Background(), n, p,
+			func(w int) *scratch {
+				created.Add(1)
+				return &scratch{buf: make([]int, 0, 4)}
+			},
+			func(_ context.Context, s *scratch, i int) (int, error) {
+				// Reuse the scratch like the selection kernel does: the
+				// result depends only on i, never on prior buffer
+				// contents.
+				s.buf = append(s.buf[:0], i, i)
+				return s.buf[0] + s.buf[1], nil
+			})
+		if err != nil {
+			t.Fatalf("p=%d: %v", p, err)
+		}
+		for i, v := range got {
+			if v != 2*i {
+				t.Fatalf("p=%d: got[%d] = %d, want %d", p, i, v, 2*i)
+			}
+		}
+		want := int32(Workers(p))
+		if n < Workers(p) {
+			want = int32(n)
+		}
+		if created.Load() > want {
+			t.Fatalf("p=%d: newState called %d times for %d workers", p, created.Load(), want)
+		}
+	}
+}
+
+func TestMapWorkersDeterministicAcrossParallelism(t *testing.T) {
+	// The contract MapWorkers exists to uphold: as long as tasks don't
+	// smuggle results through worker state, the output is bit-identical
+	// at every parallelism level.
+	const n = 64
+	run := func(p int) []float64 {
+		out, err := MapWorkers(context.Background(), n, p,
+			func(w int) []float64 { return make([]float64, 8) },
+			func(_ context.Context, s []float64, i int) (float64, error) {
+				for j := range s {
+					s[j] = float64(i) / float64(j+1)
+				}
+				var sum float64
+				for _, v := range s {
+					sum += v
+				}
+				return sum, nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	serial := run(1)
+	for _, p := range []int{2, 4, 0} {
+		got := run(p)
+		for i := range serial {
+			if got[i] != serial[i] {
+				t.Fatalf("p=%d: result %d differs from serial", p, i)
+			}
+		}
+	}
+}
+
+func TestMapWorkersErrorPropagation(t *testing.T) {
+	boom := errors.New("boom")
+	_, err := MapWorkers(context.Background(), 50, 4,
+		func(w int) int { return w },
+		func(_ context.Context, _ int, i int) (int, error) {
+			if i == 17 {
+				return 0, boom
+			}
+			return i, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("want boom, got %v", err)
+	}
+}

@@ -718,3 +718,58 @@ func TestAnonymousStreamAndLimits(t *testing.T) {
 		t.Fatalf("empty body = %d %s", resp.StatusCode, body)
 	}
 }
+
+func TestPredictMalformedBodiesNeverCrash(t *testing.T) {
+	// Regression guard for the panic-free contract of the predict
+	// handler: every conceivable malformed body must come back as a
+	// clean 4xx — never a 5xx from a recovered panic — and the server
+	// must stay serviceable afterwards. The underlying numeric layer
+	// enforces the same contract (stats.OLSResult.Predict returns an
+	// error on shape mismatch instead of panicking).
+	_, rows := fixture(t)
+	_, ts := newTestServer(t, Config{})
+
+	bodies := []string{
+		``,                       // empty body
+		`null`,                   // JSON null decodes to a zero request
+		`42`,                     // wrong top-level type
+		`{"model":"m"}`,          // no rows at all
+		`{"model":"m","rows":[]}`,
+		`{"model":"m","rows":[{}]}`,                                   // zero operating point
+		`{"model":"m","rows":[null]}`,                                 // null row
+		`{"model":"m","rows":[{"freq_mhz":1e999}]}`,                   // float overflow
+		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":"one"}]}`,  // wrong field type
+		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":1.2}]}`,    // missing every model event
+		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":1.2,"rates":{"NOT_AN_EVENT":1}}]}`,
+		`{"model":"m","extra_field":true,"rows":[{}]}`, // unknown field
+		strings.Repeat(`{`, 10000),                     // pathological nesting
+	}
+	for i, body := range bodies {
+		resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("body %d: transport error (connection died — handler panicked?): %v", i, err)
+		}
+		got, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode < 400 || resp.StatusCode >= 500 {
+			t.Fatalf("body %d: status %d (%s), want 4xx", i, resp.StatusCode, got)
+		}
+	}
+
+	// The server must still answer a well-formed request.
+	r0 := rows[0]
+	rates := make(map[string]float64, len(r0.Rates))
+	for id, v := range r0.Rates {
+		rates[pmu.Lookup(id).Name] = v
+	}
+	b, _ := json.Marshal(predictRequest{Model: "m", Rows: []wireRow{{FreqMHz: r0.FreqMHz, VoltageV: r0.VoltageV, Rates: rates}}})
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(b))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		body, _ := io.ReadAll(resp.Body)
+		t.Fatalf("good request after malformed batch = %d: %s", resp.StatusCode, body)
+	}
+}

@@ -1,0 +1,218 @@
+package stats
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"pmcpower/internal/mat"
+	"pmcpower/internal/rng"
+)
+
+// randDesign builds a random n×k design and correlated target.
+func randDesign(r *rng.Rand, n, k int) (*mat.Matrix, []float64) {
+	x := mat.New(n, k)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		var s float64
+		for j := 0; j < k; j++ {
+			v := r.NormScaled(0, 2)
+			x.Set(i, j, v)
+			s += float64(j+1) * v
+		}
+		y[i] = 1 + s + r.NormScaled(0, 0.5)
+	}
+	return x, y
+}
+
+func TestFitR2MatchesFitOLSBitwiseProperty(t *testing.T) {
+	// The fast path runs the same QR solve and goodness-of-fit
+	// arithmetic as FitOLS, so Coeffs, R², Adj.R² and SSR must agree
+	// exactly (==, not within tolerance) across random inputs, with and
+	// without an intercept.
+	f := func(seed uint64, intercept bool) bool {
+		r := rng.New(seed)
+		n := 15 + int(seed%50)
+		k := 1 + int(seed%4)
+		x, y := randDesign(r, n, k)
+		opts := OLSOptions{Intercept: intercept}
+
+		full, err1 := FitOLS(x, y, opts)
+		fast, err2 := FitR2(x, y, opts)
+		if (err1 == nil) != (err2 == nil) {
+			t.Logf("error mismatch: full %v, fast %v", err1, err2)
+			return false
+		}
+		if err1 != nil {
+			return true
+		}
+		if len(full.Coeffs) != len(fast.Coeffs) {
+			return false
+		}
+		for j := range full.Coeffs {
+			if full.Coeffs[j] != fast.Coeffs[j] {
+				t.Logf("coeff %d: full %v, fast %v", j, full.Coeffs[j], fast.Coeffs[j])
+				return false
+			}
+		}
+		var ssr float64
+		for _, e := range full.Residuals {
+			ssr += e * e
+		}
+		return full.R2 == fast.R2 && full.AdjR2 == fast.AdjR2 &&
+			ssr == fast.SSR && full.N == fast.N && full.K == fast.K &&
+			fast.Intercept == intercept
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFitR2DesignMatchesFitR2(t *testing.T) {
+	// Handing a design with the ones column already in place must be
+	// indistinguishable from letting the fit prepend it.
+	r := rng.New(41)
+	n, k := 80, 3
+	x, y := randDesign(r, n, k)
+	withOnes := mat.New(n, k+1)
+	for i := 0; i < n; i++ {
+		withOnes.Set(i, 0, 1)
+		for j := 0; j < k; j++ {
+			withOnes.Set(i, j+1, x.At(i, j))
+		}
+	}
+	want, err := FitR2(x, y, OLSOptions{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := FitR2Design(withOnes, y, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range want.Coeffs {
+		if got.Coeffs[j] != want.Coeffs[j] {
+			t.Fatalf("coeff %d: design %v, prepend %v", j, got.Coeffs[j], want.Coeffs[j])
+		}
+	}
+	if got.R2 != want.R2 || got.AdjR2 != want.AdjR2 || got.SSR != want.SSR {
+		t.Fatalf("fit quality differs: design (%v,%v,%v), prepend (%v,%v,%v)",
+			got.R2, got.AdjR2, got.SSR, want.R2, want.AdjR2, want.SSR)
+	}
+}
+
+func TestFitR2DegenerateMatchesFitOLS(t *testing.T) {
+	// Both paths must reject the same degenerate inputs with
+	// ErrDegenerate: rank-deficient designs and n <= k.
+	r := rng.New(42)
+	x := mat.New(12, 2)
+	y := make([]float64, 12)
+	for i := 0; i < 12; i++ {
+		v := r.Norm()
+		x.Set(i, 0, v)
+		x.Set(i, 1, 2*v) // exact collinearity
+		y[i] = v
+	}
+	if _, err := FitOLS(x, y, OLSOptions{Intercept: true}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("FitOLS: want ErrDegenerate, got %v", err)
+	}
+	if _, err := FitR2(x, y, OLSOptions{Intercept: true}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("FitR2: want ErrDegenerate, got %v", err)
+	}
+	if _, err := FitR2(mat.New(2, 3), []float64{1, 2}, OLSOptions{}); !errors.Is(err, ErrDegenerate) {
+		t.Fatalf("FitR2 n<=k: want ErrDegenerate, got %v", err)
+	}
+	if _, err := FitR2(mat.New(5, 2), []float64{1, 2}, OLSOptions{}); err == nil {
+		t.Fatal("FitR2 row mismatch must error")
+	}
+}
+
+func TestConstantTargetR2ContractAgrees(t *testing.T) {
+	// sst == 0 (constant y with an intercept) pins R² = Adj.R² = 0 on
+	// both paths — the documented degenerate contract. Before this
+	// contract the Adj.R² of a constant target underflowed to an
+	// arbitrary negative value.
+	r := rng.New(43)
+	n := 30
+	x := mat.New(n, 2)
+	y := make([]float64, n)
+	for i := 0; i < n; i++ {
+		x.Set(i, 0, r.Norm())
+		x.Set(i, 1, r.Norm())
+		y[i] = 7.25
+	}
+	full, err := FitOLS(x, y, OLSOptions{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast, err := FitR2(x, y, OLSOptions{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.R2 != 0 || full.AdjR2 != 0 {
+		t.Fatalf("FitOLS constant y: R²=%v Adj.R²=%v, want 0, 0", full.R2, full.AdjR2)
+	}
+	if fast.R2 != 0 || fast.AdjR2 != 0 {
+		t.Fatalf("FitR2 constant y: R²=%v Adj.R²=%v, want 0, 0", fast.R2, fast.AdjR2)
+	}
+	// All-zero y without an intercept is the uncentered sst == 0 case.
+	zeroY := make([]float64, n)
+	fast0, err := FitR2(x, zeroY, OLSOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast0.R2 != 0 || fast0.AdjR2 != 0 {
+		t.Fatalf("all-zero y uncentered: R²=%v Adj.R²=%v, want 0, 0", fast0.R2, fast0.AdjR2)
+	}
+}
+
+func TestFitOLSLiteIsFitR2(t *testing.T) {
+	x, y := makeLinearData(40, 0.5, 11)
+	a, err := FitR2(x, y, OLSOptions{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FitOLSLite(x, y, OLSOptions{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := range a.Coeffs {
+		if a.Coeffs[j] != b.Coeffs[j] {
+			t.Fatal("FitOLSLite diverges from FitR2")
+		}
+	}
+}
+
+func TestVIFColumnsMatchesVIFP(t *testing.T) {
+	// The column-store VIF entry point must agree with the matrix-based
+	// one at every parallelism level.
+	r := rng.New(44)
+	n, k := 60, 4
+	x := mat.New(n, k)
+	base := make([]float64, n)
+	for i := 0; i < n; i++ {
+		base[i] = r.Norm()
+		x.Set(i, 0, base[i])
+		x.Set(i, 1, base[i]+r.NormScaled(0, 0.3)) // correlated with col 0
+		x.Set(i, 2, r.Norm())
+		x.Set(i, 3, r.Norm())
+	}
+	want, err := VIF(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := make([][]float64, k)
+	for j := 0; j < k; j++ {
+		cols[j] = x.Col(j)
+	}
+	for _, p := range []int{1, 0} {
+		got, err := VIFColumns(cols, p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for j := range want {
+			if got[j] != want[j] {
+				t.Fatalf("parallelism %d: VIF[%d] = %v, want %v", p, j, got[j], want[j])
+			}
+		}
+	}
+}

@@ -125,21 +125,49 @@ type OLSOptions struct {
 	Estimator CovEstimator
 }
 
-// FitOLS regresses y on the columns of x (n rows, k columns) by
-// ordinary least squares via Householder QR. It returns ErrDegenerate
-// for rank-deficient designs or n <= k.
+// fitCore holds the cheap outputs every OLS entry point needs:
+// coefficients, fit quality, and residuals. FitOLS and FitR2 both
+// derive from the same core computation, which is what guarantees the
+// fast path's coefficients, R² and Adj.R² are bit-identical to the
+// full fit's.
+type fitCore struct {
+	design         *mat.Matrix
+	qr             *mat.QR
+	coeffs         []float64
+	fitted, resid  []float64
+	ssr, r2, adjR2 float64
+	n, k           int
+}
+
+// fitOLSCore performs the shared QR solve and goodness-of-fit
+// arithmetic of an OLS fit.
 //
-// When opts.Intercept is set, a leading constant column is added and
-// R² is computed against the mean-centered total sum of squares
-// (the standard definition); without an intercept, R² is uncentered,
-// matching statsmodels' behaviour.
-func FitOLS(x *mat.Matrix, y []float64, opts OLSOptions) (*OLSResult, error) {
-	if x.Rows() != len(y) {
-		return nil, fmt.Errorf("stats: FitOLS rows mismatch: x has %d, y has %d", x.Rows(), len(y))
-	}
+// Degenerate-input contract (shared by FitOLS and FitR2 so the two
+// paths agree exactly):
+//   - n <= k or a rank-deficient design returns ErrDegenerate.
+//   - sst == 0 (constant y — centered case — or all-zero y,
+//     uncentered) defines R² = 0 and Adj.R² = 0: a constant target has
+//     no variance to explain, so neither a reward nor the
+//     degrees-of-freedom penalty 1−(1−R²)·dfTotal/(n−k) is
+//     meaningful. The df ratio is never evaluated with a zero or
+//     negative denominator because n > k is enforced above.
+func fitOLSCore(x *mat.Matrix, y []float64, opts OLSOptions) (*fitCore, error) {
 	design := x
 	if opts.Intercept {
 		design = prependOnes(x)
+	}
+	return fitDesignCore(design, y, opts.Intercept)
+}
+
+// fitDesignCore is fitOLSCore on a ready-made design matrix: column 0
+// is already the intercept when intercept is true, so no copy is made.
+// Callers that assemble designs from cached columns (cross-validation
+// folds) use it to skip the prependOnes pass; the resulting matrix
+// values — and therefore every fitted output — are identical either
+// way.
+func fitDesignCore(design *mat.Matrix, y []float64, intercept bool) (*fitCore, error) {
+	if design.Rows() != len(y) {
+		return nil, fmt.Errorf("stats: FitOLS rows mismatch: x has %d, y has %d", design.Rows(), len(y))
 	}
 	n, k := design.Rows(), design.Cols()
 	if n <= k {
@@ -162,7 +190,7 @@ func FitOLS(x *mat.Matrix, y []float64, opts OLSOptions) (*OLSResult, error) {
 
 	// Total sum of squares: centered iff an intercept is present.
 	var sst float64
-	if opts.Intercept {
+	if intercept {
 		ybar := Mean(y)
 		for _, v := range y {
 			d := v - ybar
@@ -173,19 +201,60 @@ func FitOLS(x *mat.Matrix, y []float64, opts OLSOptions) (*OLSResult, error) {
 			sst += v * v
 		}
 	}
-	r2 := 0.0
+	// Adjusted R² with the standard dfs: for the centered case the
+	// total df is n−1; uncentered it is n. A zero sst (constant y)
+	// pins both measures to 0 — see the contract above.
+	r2, adjR2 := 0.0, 0.0
 	if sst > 0 {
 		r2 = 1 - ssr/sst
+		dfTotal := float64(n)
+		if intercept {
+			dfTotal = float64(n - 1)
+		}
+		adjR2 = 1 - (1-r2)*dfTotal/float64(n-k)
 	}
-	// Adjusted R² with the standard dfs: for the centered case the
-	// total df is n−1; uncentered it is n.
-	dfTotal := float64(n)
-	if opts.Intercept {
-		dfTotal = float64(n - 1)
-	}
-	adjR2 := 1 - (1-r2)*dfTotal/float64(n-k)
 
-	sigmaSq := ssr / float64(n-k)
+	return &fitCore{
+		design: design,
+		qr:     qr,
+		coeffs: coeffs,
+		fitted: fitted,
+		resid:  resid,
+		ssr:    ssr,
+		r2:     r2,
+		adjR2:  adjR2,
+		n:      n,
+		k:      k,
+	}, nil
+}
+
+// FitOLS regresses y on the columns of x (n rows, k columns) by
+// ordinary least squares via Householder QR. It returns ErrDegenerate
+// for rank-deficient designs or n <= k.
+//
+// When opts.Intercept is set, a leading constant column is added and
+// R² is computed against the mean-centered total sum of squares
+// (the standard definition); without an intercept, R² is uncentered,
+// matching statsmodels' behaviour. A constant-y input (sst == 0)
+// yields R² = Adj.R² = 0; see fitOLSCore for the degenerate-input
+// contract.
+//
+// FitOLS pays for the full inference apparatus — leverages, the HC
+// sandwich covariance, t statistics and p-values. Callers that only
+// consume coefficients and R²/Adj.R² (candidate scoring, VIF
+// auxiliary fits, cross-validation scoring) should use FitR2, which
+// returns bit-identical values for those fields at a fraction of the
+// cost.
+func FitOLS(x *mat.Matrix, y []float64, opts OLSOptions) (*OLSResult, error) {
+	core, err := fitOLSCore(x, y, opts)
+	if err != nil {
+		return nil, err
+	}
+	design, qr := core.design, core.qr
+	n, k := core.n, core.k
+	coeffs, resid := core.coeffs, core.resid
+
+	sigmaSq := core.ssr / float64(n-k)
 
 	// (XᵀX)⁻¹ = R⁻¹ R⁻ᵀ from the QR factor ("bread").
 	rinv, err := qr.RInverse()
@@ -194,11 +263,13 @@ func FitOLS(x *mat.Matrix, y []float64, opts OLSOptions) (*OLSResult, error) {
 	}
 	bread := mat.Mul(rinv, rinv.T()) // k×k
 
-	// Leverages h_ii = x_iᵀ (XᵀX)⁻¹ x_i, computed row-wise.
+	// Leverages h_ii = x_iᵀ (XᵀX)⁻¹ x_i, computed row-wise over views
+	// with one shared scratch vector — no per-row allocations.
 	lev := make([]float64, n)
+	bx := make([]float64, k)
 	for i := 0; i < n; i++ {
-		xi := design.Row(i)
-		bx := bread.MulVec(xi)
+		xi := design.RowView(i)
+		bread.MulVecInto(bx, xi)
 		var h float64
 		for j := range xi {
 			h += xi[j] * bx[j]
@@ -236,10 +307,10 @@ func FitOLS(x *mat.Matrix, y []float64, opts OLSOptions) (*OLSResult, error) {
 		StdErr:    se,
 		TStats:    ts,
 		PValues:   pv,
-		Fitted:    fitted,
+		Fitted:    core.fitted,
 		Residuals: resid,
-		R2:        r2,
-		AdjR2:     adjR2,
+		R2:        core.r2,
+		AdjR2:     core.adjR2,
 		SigmaSq:   sigmaSq,
 		Cov:       cov,
 		Leverages: lev,
@@ -290,9 +361,10 @@ func covariance(design, bread *mat.Matrix, resid, lev []float64, sigmaSq float64
 		}
 	}
 
-	// meat = Xᵀ diag(w) X.
-	scaled := design.Clone().ScaleRows(w)
-	meat := mat.Mul(design.T(), scaled)
+	// meat = Xᵀ diag(w) X, computed in place — WeightedCross reproduces
+	// Mul(design.T(), design.Clone().ScaleRows(w)) bit for bit without
+	// the two n×k temporaries.
+	meat := mat.WeightedCross(design, w)
 	cov := mat.Mul(mat.Mul(bread, meat), bread)
 	return cov, nil
 }
@@ -300,16 +372,21 @@ func covariance(design, bread *mat.Matrix, resid, lev []float64, sigmaSq float64
 // Predict evaluates the fitted model on new rows (same column layout as
 // the design matrix given to FitOLS, excluding the intercept column —
 // it is re-added automatically when the model was fit with one).
-func (r *OLSResult) Predict(x *mat.Matrix) []float64 {
+//
+// A column-count mismatch is an error, not a panic: prediction inputs
+// can originate from untrusted request bodies (pmcpowerd's
+// /v1/predict), and a malformed request must not take the process
+// down.
+func (r *OLSResult) Predict(x *mat.Matrix) ([]float64, error) {
 	design := x
 	if r.Intercept {
 		design = prependOnes(x)
 	}
 	if design.Cols() != len(r.Coeffs) {
-		panic(fmt.Sprintf("stats: Predict column mismatch: model has %d coefficients, input provides %d columns",
-			len(r.Coeffs), design.Cols()))
+		return nil, fmt.Errorf("stats: Predict column mismatch: model has %d coefficients, input provides %d columns",
+			len(r.Coeffs), design.Cols())
 	}
-	return design.MulVec(r.Coeffs)
+	return design.MulVec(r.Coeffs), nil
 }
 
 func prependOnes(x *mat.Matrix) *mat.Matrix {

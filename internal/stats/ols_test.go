@@ -141,11 +141,28 @@ func TestPredictMatchesFitted(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pred := res.Predict(x)
+	pred, err := res.Predict(x)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := range pred {
 		if math.Abs(pred[i]-res.Fitted[i]) > 1e-10 {
 			t.Fatalf("Predict on training data diverges from Fitted at %d", i)
 		}
+	}
+}
+
+func TestPredictColumnMismatchErrors(t *testing.T) {
+	// A malformed prediction input (wrong column count) must surface as
+	// an error, not a panic — prediction inputs can come from untrusted
+	// pmcpowerd request bodies.
+	x, y := makeLinearData(40, 0.5, 6)
+	res, err := FitOLS(x, y, OLSOptions{Intercept: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := res.Predict(mat.New(3, 5)); err == nil {
+		t.Fatal("Predict with mismatched columns must error")
 	}
 }
 

@@ -31,29 +31,60 @@ func VIF(x *mat.Matrix) ([]float64, error) {
 // fits are independent; results are collected in column order, so the
 // output is bit-identical at every parallelism level.
 func VIFP(x *mat.Matrix, parallelism int) ([]float64, error) {
-	k := x.Cols()
+	cols := make([][]float64, x.Cols())
+	for j := range cols {
+		cols[j] = x.Col(j)
+	}
+	return VIFColumns(cols, parallelism)
+}
+
+// VIFColumns is VIFP over a column store: cols[j] is the j-th
+// variable's observations. It lets callers that already cache feature
+// columns (the selection hot path's design cache) run VIF without
+// rebuilding a rate matrix from rows first. Each auxiliary regression
+// only needs its R², so the fits use the R²-only fast path — the
+// resulting VIFs are bit-identical to full FitOLS fits.
+func VIFColumns(cols [][]float64, parallelism int) ([]float64, error) {
+	k := len(cols)
+	if k == 0 {
+		return nil, fmt.Errorf("stats: VIF of zero columns")
+	}
 	if k == 1 {
 		return []float64{math.NaN()}, nil
 	}
-	out, err := parallel.Map(context.Background(), k, parallelism, func(j int) (float64, error) {
-		others := dropColumn(x, j)
-		res, err := FitOLS(others, x.Col(j), OLSOptions{Intercept: true})
-		if err != nil {
-			return 0, fmt.Errorf("stats: VIF auxiliary regression for column %d: %w", j, err)
-		}
-		r2 := res.R2
-		if r2 >= 1 {
-			return math.Inf(1), nil
-		}
-		v := 1 / (1 - r2)
-		// Auxiliary R² can come out slightly negative for a column
-		// orthogonal to the rest (uncentered corner cases); clamp to
-		// the theoretical minimum of 1.
-		if v < 1 {
-			v = 1
-		}
-		return v, nil
-	})
+	n := len(cols[0])
+	out, err := parallel.MapWorkers(context.Background(), k, parallelism,
+		func(_ int) *mat.Matrix { return mat.New(n, k-1) },
+		func(_ context.Context, aux *mat.Matrix, j int) (float64, error) {
+			// Assemble the auxiliary design — every column but j — into
+			// the worker's scratch matrix.
+			jj := 0
+			for c := 0; c < k; c++ {
+				if c == j {
+					continue
+				}
+				for i, v := range cols[c] {
+					aux.Set(i, jj, v)
+				}
+				jj++
+			}
+			res, err := FitR2(aux, cols[j], OLSOptions{Intercept: true})
+			if err != nil {
+				return 0, fmt.Errorf("stats: VIF auxiliary regression for column %d: %w", j, err)
+			}
+			r2 := res.R2
+			if r2 >= 1 {
+				return math.Inf(1), nil
+			}
+			v := 1 / (1 - r2)
+			// Auxiliary R² can come out slightly negative for a column
+			// orthogonal to the rest (uncentered corner cases); clamp to
+			// the theoretical minimum of 1.
+			if v < 1 {
+				v = 1
+			}
+			return v, nil
+		})
 	if err != nil {
 		return nil, err
 	}
@@ -74,19 +105,4 @@ func MeanVIFP(x *mat.Matrix, parallelism int) (float64, error) {
 		return 0, err
 	}
 	return Mean(vs), nil
-}
-
-func dropColumn(x *mat.Matrix, drop int) *mat.Matrix {
-	out := mat.New(x.Rows(), x.Cols()-1)
-	for i := 0; i < x.Rows(); i++ {
-		jj := 0
-		for j := 0; j < x.Cols(); j++ {
-			if j == drop {
-				continue
-			}
-			out.Set(i, jj, x.At(i, j))
-			jj++
-		}
-	}
-	return out
 }
