@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race verify bench bench-hotpath report examples trace-demo clean
+.PHONY: all build vet test race verify bench bench-hotpath bench-rls report examples trace-demo clean
 
 all: build vet test
 
@@ -20,9 +20,11 @@ test:
 race:
 	$(GO) test -race ./...
 
-# The full tier-1 gate for concurrent code: build, vet, tests, and
-# the race detector.
-verify: build vet test race
+# The full tier-1 gate for concurrent code: build, vet, tests, the
+# race detector, and the streaming-refit microbenchmarks (which carry
+# their own allocation gates in test form; the bench run here catches
+# order-of-magnitude regressions by inspection).
+verify: build vet test race bench-rls
 
 # Timed regeneration of every paper artifact (E1–E17).
 bench:
@@ -33,6 +35,13 @@ bench:
 bench-hotpath:
 	$(GO) test -run XXX -benchmem -benchtime=20x \
 		-bench 'BenchmarkModelTraining$$|BenchmarkSelectionSerial$$|BenchmarkSelectionParallel$$|BenchmarkSelectionExact$$|BenchmarkCrossValidationSerial$$|BenchmarkCrossValidationParallel$$|BenchmarkQRAppend|BenchmarkFitKernels' .
+
+# The streaming-refit path: per-sample RLS update vs batch window
+# refit — compare against the committed BENCH_6.json baseline.
+bench-rls:
+	$(GO) test -run XXX -benchmem -benchtime=20x \
+		-bench 'BenchmarkRowQRAppendRow|BenchmarkRLSPush$$|BenchmarkRLSPushSolve$$|BenchmarkRLSBatchRefit$$' \
+		./internal/mat ./internal/stats
 
 # Text report of every table and figure.
 report:

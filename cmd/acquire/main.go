@@ -64,11 +64,18 @@ func run(seed uint64, freqsFlag, wlFlag, evFlag, out string) error {
 
 	var events []pmu.EventID
 	if evFlag != "" {
+		seen := make(map[pmu.EventID]bool)
 		for _, tok := range strings.Split(evFlag, ",") {
 			e, err := pmu.ByName(strings.TrimSpace(tok))
 			if err != nil {
 				return err
 			}
+			// Catch duplicates here so the message names the flag rather
+			// than surfacing later from run planning.
+			if seen[e.ID] {
+				return fmt.Errorf("-events lists %s twice", e.Name)
+			}
+			seen[e.ID] = true
 			events = append(events, e.ID)
 		}
 	}

@@ -58,6 +58,7 @@ func main() {
 	selfcal := flag.Bool("selfcal", false, "calibrate a model on the simulated platform at startup (registered as \"default\")")
 	seed := flag.Uint64("seed", 42, "calibration seed for -selfcal")
 	alpha := flag.Float64("alpha", 1, "default EWMA smoothing factor for streams that do not pass ?alpha=")
+	refitWindow := flag.Int("refit-window", 0, "default streaming-refit window (rows) for labelled estimate streams; 0 serves frozen models (per-stream ?refit= overrides)")
 	idleTTL := flag.Duration("idle-ttl", 5*time.Minute, "evict estimator sessions idle this long")
 	maxSessions := flag.Int("max-sessions", 1024, "cap on concurrent estimator sessions")
 	flag.Parse()
@@ -68,13 +69,13 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level)
-	if err := run(logger, modelPaths, *addr, *debugAddr, *selfcal, *seed, *alpha, *idleTTL, *maxSessions); err != nil {
+	if err := run(logger, modelPaths, *addr, *debugAddr, *selfcal, *seed, *alpha, *refitWindow, *idleTTL, *maxSessions); err != nil {
 		logger.Error("fatal", "err", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, modelPaths []string, addr, debugAddr string, selfcal bool, seed uint64, alpha float64, idleTTL time.Duration, maxSessions int) error {
+func run(logger *slog.Logger, modelPaths []string, addr, debugAddr string, selfcal bool, seed uint64, alpha float64, refitWindow int, idleTTL time.Duration, maxSessions int) error {
 	start := time.Now()
 	reg := serve.NewRegistry()
 	for _, p := range modelPaths {
@@ -102,6 +103,7 @@ func run(logger *slog.Logger, modelPaths []string, addr, debugAddr string, selfc
 	srv := serve.New(serve.Config{
 		Registry:     reg,
 		DefaultAlpha: alpha,
+		RefitWindow:  refitWindow,
 		IdleTTL:      idleTTL,
 		MaxSessions:  maxSessions,
 		Obs:          obs.Default(),

@@ -46,7 +46,10 @@ func main() {
 	platform := cpusim.HaswellEP()
 	exec := cpusim.NewExecutor(platform)
 	gtModel := power.DefaultModel()
-	set := pmu.MustEventSet(events...)
+	set, err := pmu.NewEventSet(events...)
+	if err != nil {
+		log.Fatal(err)
+	}
 	sampler, err := metricplugin.NewApapiPlugin(set, 10)
 	if err != nil {
 		log.Fatal(err)

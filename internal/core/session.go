@@ -12,10 +12,17 @@ import (
 // sequence of samples pushed through a StreamSession yields
 // bit-identical estimates and joules to driving an OnlineEstimator
 // and EnergyAccountant directly in the same order.
+//
+// A session opened with NewStreamSessionRefit additionally carries a
+// Refitter: labelled samples (PushLabeled) slide the model's
+// coefficients toward the live counters-to-power relationship, and
+// every estimate is stamped with the model version that produced it.
 type StreamSession struct {
 	mu   sync.Mutex
 	est  *OnlineEstimator
 	acct *EnergyAccountant
+	// refit is nil for frozen sessions.
+	refit *Refitter
 }
 
 // NewStreamSession wraps a trained model. alpha is the EWMA smoothing
@@ -33,13 +40,38 @@ func NewStreamSession(m *Model, alpha float64) (*StreamSession, error) {
 	return &StreamSession{est: est, acct: acct}, nil
 }
 
+// NewStreamSessionRefit is NewStreamSession with streaming refit over
+// a sliding window of refitWindow labelled samples (window == 0 means
+// frozen, identical to NewStreamSession). The estimator and the energy
+// accountant both serve the refitter's adapted model, so coefficient
+// refreshes take effect on the very next sample; until the first
+// refresh the adapted model is coefficient-identical to m.
+func NewStreamSessionRefit(m *Model, alpha float64, refitWindow int) (*StreamSession, error) {
+	if refitWindow == 0 {
+		return NewStreamSession(m, alpha)
+	}
+	rf, err := NewRefitter(m, refitWindow)
+	if err != nil {
+		return nil, err
+	}
+	s, err := NewStreamSession(rf.Model(), alpha)
+	if err != nil {
+		return nil, err
+	}
+	s.refit = rf
+	return s, nil
+}
+
 // StreamEstimate is one output of a StreamSession: the estimator's
 // instantaneous and smoothed watts plus the accountant's cumulative
-// joules and the number of samples accepted so far.
+// joules, the number of samples accepted so far, and the version of
+// the model that computed the estimate (0 = the frozen offline fit;
+// it increments with every streaming coefficient refresh).
 type StreamEstimate struct {
 	Estimate
-	TotalJoules float64
-	Samples     uint64
+	TotalJoules  float64
+	Samples      uint64
+	ModelVersion uint64
 }
 
 // Push consumes one sample under the session lock. A rejected sample
@@ -50,6 +82,14 @@ type StreamEstimate struct {
 func (s *StreamSession) Push(cs CounterSample) (StreamEstimate, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	return s.push(cs)
+}
+
+func (s *StreamSession) push(cs CounterSample) (StreamEstimate, error) {
+	version := uint64(0)
+	if s.refit != nil {
+		version = s.refit.Version()
+	}
 	est, err := s.est.Push(cs)
 	if err != nil {
 		return StreamEstimate{}, err
@@ -60,7 +100,68 @@ func (s *StreamSession) Push(cs CounterSample) (StreamEstimate, error) {
 	if err != nil {
 		return StreamEstimate{}, err
 	}
-	return StreamEstimate{Estimate: est, TotalJoules: joules, Samples: s.est.Samples()}, nil
+	return StreamEstimate{
+		Estimate:     est,
+		TotalJoules:  joules,
+		Samples:      s.est.Samples(),
+		ModelVersion: version,
+	}, nil
+}
+
+// PushLabeled is Push for a sample that also carries a measured power
+// reference (e.g. a RAPL reading). On a refitting session the sample
+// is estimated first — prequentially, with the coefficients fitted to
+// samples strictly before it — and then folded into the refit window,
+// so the returned estimate never scores a model on its own training
+// row. The power reference is validated up front: a bad label
+// (ErrBadPower) rejects the whole sample, leaving every piece of
+// session state untouched. On a frozen session the label is ignored
+// and PushLabeled behaves exactly like Push.
+func (s *StreamSession) PushLabeled(cs CounterSample, powerW float64) (StreamEstimate, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refit == nil {
+		return s.push(cs)
+	}
+	if err := validatePower(powerW); err != nil {
+		return StreamEstimate{}, err
+	}
+	est, err := s.push(cs)
+	if err != nil {
+		return StreamEstimate{}, err
+	}
+	// The estimator accepted the sample and the label is valid, so
+	// Observe cannot reject it.
+	if err := s.refit.Observe(cs, powerW); err != nil {
+		return StreamEstimate{}, err
+	}
+	return est, nil
+}
+
+// ModelVersion returns the current coefficient generation (0 for a
+// frozen session or before the first streaming refresh).
+func (s *StreamSession) ModelVersion() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refit == nil {
+		return 0
+	}
+	return s.refit.Version()
+}
+
+// Refitting reports whether the session adapts its model from
+// labelled samples.
+func (s *StreamSession) Refitting() bool { return s.refit != nil }
+
+// RefitRebuilds returns the refitter's downdate-breakdown rebuild
+// count (0 for frozen sessions).
+func (s *StreamSession) RefitRebuilds() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.refit == nil {
+		return 0
+	}
+	return s.refit.Rebuilds()
 }
 
 // Totals returns the cumulative joules and accepted-sample count

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"math"
 	"strings"
 
 	"pmcpower/internal/acquisition"
@@ -90,8 +91,8 @@ func (c *Context) RenderStrategies() (string, error) {
 	sb.WriteString("Selection-strategy comparison (paper §VI future work)\n")
 	fmt.Fprintf(&sb, "%-24s %7s %8s %8s %10s  %s\n", "strategy", "R²", "meanVIF", "CV MAPE", "transfer", "counters")
 	for _, r := range rows {
-		fmt.Fprintf(&sb, "%-24s %7.3f %8.2f %7.2f%% %9.2f%%  %s\n",
-			r.Strategy, r.R2, r.MeanVIF, r.CVMAPE, r.TransferMAPE, strings.Join(r.Counters, ","))
+		fmt.Fprintf(&sb, "%-24s %7.3f %8s %7.2f%% %9.2f%%  %s\n",
+			r.Strategy, r.R2, fmtStat("%.2f", r.MeanVIF), r.CVMAPE, r.TransferMAPE, strings.Join(r.Counters, ","))
 	}
 	return sb.String(), nil
 }
@@ -239,9 +240,12 @@ func (c *Context) RenderHeteroscedasticity() (string, error) {
 		return "", err
 	}
 	verdict := "homoscedastic (no evidence against)"
-	if bp.PValue < 0.01 {
+	switch {
+	case math.IsNaN(bp.PValue):
+		verdict = "inconclusive (degenerate residual regression)"
+	case bp.PValue < 0.01:
 		verdict = "heteroscedastic (reject homoscedasticity at 1%) — HC3 justified"
 	}
-	return fmt.Sprintf("Breusch–Pagan test on the Equation-1 residuals\nLM = %.2f, df = %d, p = %.3g → %s\n",
-		bp.LM, bp.DF, bp.PValue, verdict), nil
+	return fmt.Sprintf("Breusch–Pagan test on the Equation-1 residuals\nLM = %s, df = %d, p = %s → %s\n",
+		fmtStat("%.2f", bp.LM), bp.DF, fmtStat("%.3g", bp.PValue), verdict), nil
 }

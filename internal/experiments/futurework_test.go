@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -93,6 +94,25 @@ func TestFutureworkRenderers(t *testing.T) {
 		if len(strings.TrimSpace(out)) == 0 || strings.Contains(out, "%!") {
 			t.Fatalf("%s render broken:\n%s", name, out)
 		}
+		// Degenerate diagnostics must surface as "n/a", never as a raw
+		// NaN leaking out of stats (ChiSquareSF, VIF) into the report.
+		if strings.Contains(out, "NaN") {
+			t.Fatalf("%s render leaks NaN:\n%s", name, out)
+		}
+	}
+}
+
+func TestRenderNonFiniteDiagnosticsAsNA(t *testing.T) {
+	for _, v := range []float64{math.NaN(), math.Inf(1), math.Inf(-1)} {
+		if got := fmtStat("%.2f", v); got != "n/a" {
+			t.Fatalf("fmtStat(%v) = %q, want n/a", v, got)
+		}
+	}
+	if got := fmtStat("%.2f", 3.14159); got != "3.14" {
+		t.Fatalf("fmtStat(pi) = %q", got)
+	}
+	if got := fmtVIF(math.NaN()); got != "n/a" {
+		t.Fatalf("fmtVIF(NaN) = %q", got)
 	}
 }
 

@@ -24,6 +24,16 @@ func fmtVIF(v float64) string {
 	return fmt.Sprintf("%.3f", v)
 }
 
+// fmtStat formats a diagnostic statistic, rendering non-finite values
+// as "n/a" instead of letting a NaN from a degenerate fit (see
+// stats.ChiSquareSF, stats.VIF) leak into report output verbatim.
+func fmtStat(format string, v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "n/a"
+	}
+	return fmt.Sprintf(format, v)
+}
+
 // RenderTableI renders Table I (or Table IV, given its rows).
 func RenderSelectionTable(title string, rows []SelectionRow) string {
 	var sb strings.Builder

@@ -151,12 +151,26 @@ func AllIDs() []EventID {
 }
 
 // Lookup returns the event with the given ID. It panics on an invalid
-// ID — IDs only originate from this package.
+// ID — IDs only originate from this package, so an out-of-range value
+// is a programming error, not bad input. Code handling IDs that arrive
+// from outside (decoded files, network payloads, CLI input) should use
+// LookupOK instead.
 func Lookup(id EventID) Event {
 	if id < 0 || int(id) >= len(presets) {
 		panic(fmt.Sprintf("pmu: invalid event id %d", id))
 	}
 	return presets[id]
+}
+
+// LookupOK returns the event with the given ID, reporting rather than
+// panicking when the ID is out of range. Entry points that accept IDs
+// from untrusted sources validate through this so malformed input
+// surfaces as an error message instead of a stack trace.
+func LookupOK(id EventID) (Event, bool) {
+	if id < 0 || int(id) >= len(presets) {
+		return Event{}, false
+	}
+	return presets[id], true
 }
 
 // ByName resolves a full PAPI name ("PAPI_PRF_DM") or a short name

@@ -24,14 +24,17 @@ type EventSet struct {
 }
 
 // NewEventSet creates an event set from the given events, rejecting
-// duplicates. The set is not necessarily schedulable — check
-// Schedulable before using it in a run plan.
+// unknown IDs and duplicates. The set is not necessarily schedulable —
+// check Schedulable before using it in a run plan.
 func NewEventSet(ids ...EventID) (*EventSet, error) {
 	seen := make(map[EventID]bool, len(ids))
 	for _, id := range ids {
-		Lookup(id) // validates
+		e, ok := LookupOK(id)
+		if !ok {
+			return nil, fmt.Errorf("pmu: unknown event id %d in event set", id)
+		}
 		if seen[id] {
-			return nil, fmt.Errorf("pmu: duplicate event %s in event set", Lookup(id).Name)
+			return nil, fmt.Errorf("pmu: duplicate event %s in event set", e.Name)
 		}
 		seen[id] = true
 	}
@@ -105,12 +108,15 @@ func PlanRuns(ids []EventID) ([]*EventSet, error) {
 	var fixed, prog []EventID
 	seen := make(map[EventID]bool, len(ids))
 	for _, id := range ids {
-		Lookup(id)
+		e, ok := LookupOK(id)
+		if !ok {
+			return nil, fmt.Errorf("pmu: unknown event id %d in plan request", id)
+		}
 		if seen[id] {
-			return nil, fmt.Errorf("pmu: duplicate event %s in plan request", Lookup(id).Name)
+			return nil, fmt.Errorf("pmu: duplicate event %s in plan request", e.Name)
 		}
 		seen[id] = true
-		if Lookup(id).Kind == Fixed {
+		if e.Kind == Fixed {
 			fixed = append(fixed, id)
 		} else {
 			prog = append(prog, id)

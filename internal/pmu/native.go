@@ -184,12 +184,15 @@ func PlanRunsShared(ids []EventID) ([]*EventSet, error) {
 	var fixed, prog []EventID
 	seen := make(map[EventID]bool, len(ids))
 	for _, id := range ids {
-		Lookup(id)
+		e, ok := LookupOK(id)
+		if !ok {
+			return nil, fmt.Errorf("pmu: unknown event id %d in plan request", id)
+		}
 		if seen[id] {
-			return nil, fmt.Errorf("pmu: duplicate event %s in plan request", Lookup(id).Name)
+			return nil, fmt.Errorf("pmu: duplicate event %s in plan request", e.Name)
 		}
 		seen[id] = true
-		if Lookup(id).Kind == Fixed {
+		if e.Kind == Fixed {
 			fixed = append(fixed, id)
 		} else {
 			prog = append(prog, id)

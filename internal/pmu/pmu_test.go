@@ -259,3 +259,35 @@ func TestSortIDs(t *testing.T) {
 		t.Fatal("SortIDs must not mutate input")
 	}
 }
+
+func TestLookupOK(t *testing.T) {
+	e, ok := LookupOK(0)
+	if !ok || e.ID != 0 {
+		t.Fatalf("LookupOK(0) = %+v, %v", e, ok)
+	}
+	for _, bad := range []EventID{-1, EventID(len(AllIDs())), 9999} {
+		if _, ok := LookupOK(bad); ok {
+			t.Fatalf("LookupOK(%d) accepted an out-of-range id", bad)
+		}
+	}
+}
+
+func TestInvalidIDsErrorNotPanic(t *testing.T) {
+	// Entry points that accept IDs from outside the package must turn
+	// an out-of-range ID into an error, never a panic: a corrupt model
+	// file or malformed request used to take the daemon down with a
+	// stack trace here.
+	bad := EventID(9999)
+	if _, err := NewEventSet(bad); err == nil || !strings.Contains(err.Error(), "unknown event id") {
+		t.Fatalf("NewEventSet(bad): err = %v", err)
+	}
+	if _, err := NewEventSet(0, bad); err == nil {
+		t.Fatal("NewEventSet with one bad id must error")
+	}
+	if _, err := PlanRuns([]EventID{bad}); err == nil || !strings.Contains(err.Error(), "unknown event id") {
+		t.Fatalf("PlanRuns(bad): err = %v", err)
+	}
+	if _, err := PlanRunsShared([]EventID{0, bad}); err == nil || !strings.Contains(err.Error(), "unknown event id") {
+		t.Fatalf("PlanRunsShared(bad): err = %v", err)
+	}
+}

@@ -21,7 +21,15 @@ const (
 	ReasonOversized   = "oversized_line"
 	ReasonSessionCap  = "session_limit"
 	ReasonSessionBusy = "session_busy"
+	ReasonBadPower    = "bad_power"
 )
+
+// driftBuckets are watt-scale histogram bounds for the absolute error
+// between the served estimate and the measured power reference — the
+// drift signal streaming refit exists to shrink. The paper's models
+// sit in the 1–5% MAPE band on ~50–200 W nodes, so sub-watt buckets
+// resolve a healthy model and the tail flags one that needs refit.
+var driftBuckets = []float64{0.1, 0.25, 0.5, 1, 2, 5, 10, 25, 50, 100}
 
 // Metrics is the pmcpowerd instrument set, backed by the shared
 // internal/obs registry (the seed's hand-rolled render loop is gone):
@@ -39,6 +47,10 @@ type Metrics struct {
 	evictions       *obs.Counter
 	sessionsCreated *obs.Counter
 	estimateLatency *obs.Histogram
+	refitSamples    *obs.Counter
+	refits          *obs.Counter
+	refitRebuilds   *obs.Counter
+	refitDrift      *obs.Histogram
 	totalRequests   atomic.Uint64
 }
 
@@ -60,6 +72,15 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Named estimator sessions created."),
 		estimateLatency: reg.Histogram("pmcpowerd_estimate_latency_seconds",
 			"Per-sample estimator push latency.", nil),
+		refitSamples: reg.Counter("pmcpowerd_refit_samples_total",
+			"Labelled samples folded into streaming refit windows."),
+		refits: reg.Counter("pmcpowerd_refits_total",
+			"Streaming coefficient refreshes across all refitting sessions."),
+		refitRebuilds: reg.Counter("pmcpowerd_refit_rebuilds_total",
+			"Refit-window refactorizations forced by downdate breakdown."),
+		refitDrift: reg.Histogram("pmcpowerd_refit_drift_watts",
+			"Absolute error of the estimate against the measured power reference, in watts.",
+			driftBuckets),
 	}
 }
 
@@ -97,6 +118,25 @@ func (m *Metrics) Estimate(d time.Duration) {
 	m.estimates.Inc()
 	m.estimateLatency.Observe(d.Seconds())
 }
+
+// RefitSample records one labelled sample folded into a refit window,
+// with the drift (|estimate − measured|, watts) it observed.
+func (m *Metrics) RefitSample(driftW float64) {
+	m.refitSamples.Inc()
+	m.refitDrift.Observe(driftW)
+}
+
+// Refits counts n streaming coefficient refreshes.
+func (m *Metrics) Refits(n uint64) { m.refits.Add(n) }
+
+// RefitRebuilds counts n downdate-breakdown refactorizations.
+func (m *Metrics) RefitRebuilds(n uint64) { m.refitRebuilds.Add(n) }
+
+// RefitSamples returns the labelled-sample count (for tests).
+func (m *Metrics) RefitSamples() uint64 { return m.refitSamples.Value() }
+
+// RefitCount returns the refresh count (for tests).
+func (m *Metrics) RefitCount() uint64 { return m.refits.Value() }
 
 // Eviction counts one idle-session eviction.
 func (m *Metrics) Eviction() { m.evictions.Inc() }

@@ -81,7 +81,7 @@ func sampleLine(t *testing.T, r *acquisition.Row, timeNs uint64) string {
 	for id, v := range r.Rates {
 		rates[pmu.Lookup(id).Name] = v
 	}
-	b, err := json.Marshal(wireSample{TimeNs: timeNs, FreqMHz: r.FreqMHz, VoltageV: r.VoltageV, Rates: rates})
+	b, err := json.Marshal(wireSample{TimeNs: timeNs, FreqMHz: float64(r.FreqMHz), VoltageV: r.VoltageV, Rates: rates})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -218,7 +218,7 @@ func TestPredictBatchBitIdentical(t *testing.T) {
 		for id, v := range r.Rates {
 			rates[pmu.Lookup(id).Name] = v
 		}
-		req.Rows = append(req.Rows, wireRow{FreqMHz: r.FreqMHz, VoltageV: r.VoltageV, Rates: rates})
+		req.Rows = append(req.Rows, wireRow{FreqMHz: float64(r.FreqMHz), VoltageV: r.VoltageV, Rates: rates})
 		want = append(want, m.Predict(r))
 	}
 	b, _ := json.Marshal(req)
@@ -278,10 +278,17 @@ func TestPredictRejectsInvalidRows(t *testing.T) {
 	}
 
 	mk := func(mut func(*wireRow)) string {
-		row := wireRow{FreqMHz: r0.FreqMHz, VoltageV: r0.VoltageV, Rates: goodRates()}
+		row := wireRow{FreqMHz: float64(r0.FreqMHz), VoltageV: r0.VoltageV, Rates: goodRates()}
 		mut(&row)
 		b, _ := json.Marshal(predictRequest{Model: "m", Rows: []wireRow{row}})
 		return string(b)
+	}
+
+	// rawFreq swaps a verbatim frequency token into an otherwise valid
+	// request, for values encoding/json cannot round-trip (NaN, Inf).
+	rawFreq := func(freq string) string {
+		return strings.Replace(mk(func(*wireRow) {}),
+			fmt.Sprintf(`"freq_mhz":%v`, r0.FreqMHz), `"freq_mhz":`+freq, 1)
 	}
 
 	check(post(`{not json`), 400, ReasonParse)
@@ -290,6 +297,15 @@ func TestPredictRejectsInvalidRows(t *testing.T) {
 	check(post(mk(func(w *wireRow) { w.Rates["PAPI_TOT_CYC"] = -5 })), 400, ReasonBadRate)
 	check(post(mk(func(w *wireRow) { delete(w.Rates, "PAPI_TOT_CYC") })), 400, ReasonMissingEv)
 	check(post(mk(func(w *wireRow) { w.Rates["PAPI_NOPE"] = 1 })), 400, ReasonUnknownEv)
+	// Non-finite and non-integral frequencies: NaN passed the seed's
+	// `FreqMHz <= 0` check as false and 2400.5 silently truncated while
+	// the field was an int on the wire. NaN/Inf literals are invalid
+	// JSON (parse); finite garbage must be a bad operating point.
+	check(post(rawFreq("NaN")), 400, ReasonParse)
+	check(post(rawFreq("-Infinity")), 400, ReasonParse)
+	check(post(rawFreq("1e308")), 400, ReasonBadOperPt)
+	check(post(rawFreq("2400.5")), 400, ReasonBadOperPt)
+	check(post(rawFreq("0")), 400, ReasonBadOperPt)
 
 	if got := s.Metrics().Rejected(ReasonBadRate); got != 1 {
 		t.Fatalf("bad_rate rejects = %d, want 1", got)
@@ -730,16 +746,16 @@ func TestPredictMalformedBodiesNeverCrash(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 
 	bodies := []string{
-		``,                       // empty body
-		`null`,                   // JSON null decodes to a zero request
-		`42`,                     // wrong top-level type
-		`{"model":"m"}`,          // no rows at all
+		``,              // empty body
+		`null`,          // JSON null decodes to a zero request
+		`42`,            // wrong top-level type
+		`{"model":"m"}`, // no rows at all
 		`{"model":"m","rows":[]}`,
-		`{"model":"m","rows":[{}]}`,                                   // zero operating point
-		`{"model":"m","rows":[null]}`,                                 // null row
-		`{"model":"m","rows":[{"freq_mhz":1e999}]}`,                   // float overflow
-		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":"one"}]}`,  // wrong field type
-		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":1.2}]}`,    // missing every model event
+		`{"model":"m","rows":[{}]}`,   // zero operating point
+		`{"model":"m","rows":[null]}`, // null row
+		`{"model":"m","rows":[{"freq_mhz":1e999}]}`,                  // float overflow
+		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":"one"}]}`, // wrong field type
+		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":1.2}]}`,   // missing every model event
 		`{"model":"m","rows":[{"freq_mhz":2400,"voltage_v":1.2,"rates":{"NOT_AN_EVENT":1}}]}`,
 		`{"model":"m","extra_field":true,"rows":[{}]}`, // unknown field
 		strings.Repeat(`{`, 10000),                     // pathological nesting
@@ -762,7 +778,7 @@ func TestPredictMalformedBodiesNeverCrash(t *testing.T) {
 	for id, v := range r0.Rates {
 		rates[pmu.Lookup(id).Name] = v
 	}
-	b, _ := json.Marshal(predictRequest{Model: "m", Rows: []wireRow{{FreqMHz: r0.FreqMHz, VoltageV: r0.VoltageV, Rates: rates}}})
+	b, _ := json.Marshal(predictRequest{Model: "m", Rows: []wireRow{{FreqMHz: float64(r0.FreqMHz), VoltageV: r0.VoltageV, Rates: rates}}})
 	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(b))
 	if err != nil {
 		t.Fatal(err)

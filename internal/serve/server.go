@@ -39,6 +39,12 @@ type Config struct {
 	// MaxSessions caps live sessions; further session creation gets
 	// HTTP 429. Default 1024.
 	MaxSessions int
+	// RefitWindow is the default streaming-refit window (in labelled
+	// samples) applied to new estimator sessions when a client does not
+	// pass ?refit=. 0 (the default) serves the frozen offline fit;
+	// clients can still opt in per session with ?refit=N. pmcpowerd
+	// sets it from -refit-window.
+	RefitWindow int
 	// MaxLineBytes caps one NDJSON input line — the per-sample
 	// backpressure bound. Default 1 MiB.
 	MaxLineBytes int
@@ -238,21 +244,33 @@ func (s *Server) runJanitor() {
 // --- wire formats ----------------------------------------------------
 
 // wireSample is one NDJSON input line of /v1/estimate: a
-// core.CounterSample with events keyed by PAPI name.
+// core.CounterSample with events keyed by PAPI name. Frequency is
+// decoded as float64 so that a non-finite or fractional value is
+// caught by validation instead of silently truncating through an int
+// field (json: NaN/Inf literals fail to parse, but 1e300 or 2400.5
+// would otherwise corrupt the operating point). PowerW, when present,
+// is a measured power reference (e.g. a RAPL reading) that a
+// refit-enabled session folds into its sliding-window refit.
 type wireSample struct {
 	TimeNs   uint64             `json:"time_ns"`
-	FreqMHz  int                `json:"freq_mhz"`
+	FreqMHz  float64            `json:"freq_mhz"`
 	VoltageV float64            `json:"voltage_v"`
 	Rates    map[string]float64 `json:"rates"`
+	PowerW   *float64           `json:"power_w"`
 }
 
 // wireEstimate is one NDJSON output line of /v1/estimate.
+// ModelVersion is the coefficient generation that computed the
+// estimate: 0 is the frozen offline fit; a refit-enabled session
+// increments it with every streaming coefficient refresh, so clients
+// can tell frozen from adapting output.
 type wireEstimate struct {
-	TimeNs    uint64  `json:"time_ns"`
-	InstantW  float64 `json:"instant_w"`
-	SmoothedW float64 `json:"smoothed_w"`
-	TotalJ    float64 `json:"total_j"`
-	Samples   uint64  `json:"samples"`
+	TimeNs       uint64  `json:"time_ns"`
+	InstantW     float64 `json:"instant_w"`
+	SmoothedW    float64 `json:"smoothed_w"`
+	TotalJ       float64 `json:"total_j"`
+	Samples      uint64  `json:"samples"`
+	ModelVersion uint64  `json:"model_version"`
 }
 
 // wireError is an NDJSON error record emitted for samples rejected
@@ -270,7 +288,7 @@ type predictRequest struct {
 }
 
 type wireRow struct {
-	FreqMHz  int                `json:"freq_mhz"`
+	FreqMHz  float64            `json:"freq_mhz"`
 	VoltageV float64            `json:"voltage_v"`
 	Rates    map[string]float64 `json:"rates"`
 }
@@ -360,6 +378,22 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
+	// ?refit=N opts the session into streaming refit over a sliding
+	// window of N labelled samples (?refit=0 forces frozen); absent, the
+	// server default applies. Window-size feasibility (N must exceed the
+	// model's design width) is core.NewRefitter's check, surfaced below
+	// as a 400.
+	refitWindow := s.cfg.RefitWindow
+	if rv := q.Get("refit"); rv != "" {
+		n, rerr := strconv.Atoi(rv)
+		if rerr != nil || n < 0 {
+			s.metrics.Reject(ReasonParse)
+			writeError(w, http.StatusBadRequest, ReasonParse,
+				fmt.Errorf("serve: refit %q is not a non-negative window size", rv))
+			return
+		}
+		refitWindow = n
+	}
 
 	// A named session persists across requests (and is subject to idle
 	// eviction and the one-stream backpressure limit); an anonymous
@@ -367,7 +401,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var stream *core.StreamSession
 	if id := q.Get("session"); id != "" {
 		key := sessionKey{model: q.Get("model"), id: id}
-		sess, herr := s.sessions.acquire(key, m, alpha)
+		sess, herr := s.sessions.acquire(key, m, alpha, refitWindow)
 		if herr != nil {
 			writeError(w, herr.status, herr.reason, herr.err)
 			return
@@ -375,7 +409,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		defer s.sessions.release(key)
 		stream = sess.stream
 	} else {
-		stream, err = core.NewStreamSession(m, alpha)
+		stream, err = core.NewStreamSessionRefit(m, alpha, refitWindow)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, ReasonParse, err)
 			return
@@ -403,27 +437,51 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	sc.Buffer(make([]byte, 0, bufCap), s.cfg.MaxLineBytes)
 	enc := json.NewEncoder(w)
 	streaming := false // true once the 200 header is out
+	// Refit bookkeeping: version/rebuild counters are cumulative on the
+	// session, so metric deltas are taken against the values seen at
+	// request start (correct across reconnects to a named session).
+	lastVersion := stream.ModelVersion()
+	lastRebuilds := stream.RefitRebuilds()
 	for sc.Scan() {
 		line := bytes.TrimSpace(sc.Bytes())
 		if len(line) == 0 {
 			continue
 		}
-		cs, reason, err := parseSample(line, m)
+		cs, powerW, reason, err := parseSample(line, m)
 		if err == nil {
 			start := time.Now()
-			est, perr := stream.Push(cs)
+			var est core.StreamEstimate
+			var perr error
+			labelled := powerW != nil && stream.Refitting()
+			if labelled {
+				est, perr = stream.PushLabeled(cs, *powerW)
+			} else {
+				est, perr = stream.Push(cs)
+			}
 			if perr == nil {
 				s.metrics.Estimate(time.Since(start))
+				if labelled {
+					s.metrics.RefitSample(math.Abs(est.InstantW - *powerW))
+					if v := stream.ModelVersion(); v > lastVersion {
+						s.metrics.Refits(v - lastVersion)
+						lastVersion = v
+					}
+					if rb := stream.RefitRebuilds(); rb > lastRebuilds {
+						s.metrics.RefitRebuilds(rb - lastRebuilds)
+						lastRebuilds = rb
+					}
+				}
 				if !streaming {
 					w.Header().Set("Content-Type", "application/x-ndjson")
 					streaming = true
 				}
 				enc.Encode(wireEstimate{
-					TimeNs:    est.TimeNs,
-					InstantW:  est.InstantW,
-					SmoothedW: est.SmoothedW,
-					TotalJ:    est.TotalJoules,
-					Samples:   est.Samples,
+					TimeNs:       est.TimeNs,
+					InstantW:     est.InstantW,
+					SmoothedW:    est.SmoothedW,
+					TotalJ:       est.TotalJoules,
+					Samples:      est.Samples,
+					ModelVersion: est.ModelVersion,
 				})
 				rc.Flush()
 				continue
@@ -467,38 +525,58 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 
 // --- conversion and validation ---------------------------------------
 
+// validFreqMHz converts a wire-side frequency to the integer MHz the
+// core types carry, rejecting everything an int field used to let
+// through or mangle: NaN and ±Inf (NaN compares false against any
+// bound, so `freq <= 0` alone does not catch it), non-positive,
+// fractional, and values beyond any plausible clock (which would
+// overflow the int conversion).
+func validFreqMHz(f float64) (int, error) {
+	const maxMHz = 1 << 20 // ~1 THz; far above any CPU clock
+	if math.IsNaN(f) || math.IsInf(f, 0) || f <= 0 || f != math.Trunc(f) || f > maxMHz {
+		return 0, fmt.Errorf("invalid frequency %v MHz (want a positive integer)", f)
+	}
+	return int(f), nil
+}
+
 // parseSample decodes one NDJSON line and resolves event names. Rate
 // semantics (finite, non-negative, covering the model's events) are
 // the estimator's to enforce; this layer rejects what the estimator
-// cannot see: unparseable JSON and unknown event names.
-func parseSample(line []byte, m *core.Model) (core.CounterSample, string, error) {
+// cannot see: unparseable JSON, unknown event names, and a frequency
+// that does not survive the float→int conversion.
+func parseSample(line []byte, m *core.Model) (core.CounterSample, *float64, string, error) {
 	var ws wireSample
 	dec := json.NewDecoder(bytes.NewReader(line))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&ws); err != nil {
-		return core.CounterSample{}, ReasonParse, fmt.Errorf("serve: decoding sample: %w", err)
+		return core.CounterSample{}, nil, ReasonParse, fmt.Errorf("serve: decoding sample: %w", err)
+	}
+	freq, err := validFreqMHz(ws.FreqMHz)
+	if err != nil {
+		return core.CounterSample{}, nil, ReasonBadOperPt, fmt.Errorf("serve: %w", err)
 	}
 	rates := make(map[pmu.EventID]float64, len(ws.Rates))
 	for name, v := range ws.Rates {
 		ev, err := pmu.ByName(name)
 		if err != nil {
-			return core.CounterSample{}, ReasonUnknownEv, fmt.Errorf("serve: sample references unknown event %q", name)
+			return core.CounterSample{}, nil, ReasonUnknownEv, fmt.Errorf("serve: sample references unknown event %q", name)
 		}
 		rates[ev.ID] = v
 	}
 	return core.CounterSample{
 		TimeNs:   ws.TimeNs,
-		FreqMHz:  ws.FreqMHz,
+		FreqMHz:  freq,
 		VoltageV: ws.VoltageV,
 		Rates:    rates,
-	}, "", nil
+	}, ws.PowerW, "", nil
 }
 
 // convertRow maps a wire row to an acquisition.Row, enforcing the
 // same validity rules the streaming path gets from the estimator.
 func convertRow(wr wireRow, m *core.Model) (*acquisition.Row, string, error) {
-	if wr.FreqMHz <= 0 || !(wr.VoltageV > 0) || math.IsInf(wr.VoltageV, 0) {
-		return nil, ReasonBadOperPt, fmt.Errorf("invalid operating point (freq %d MHz, voltage %v V)", wr.FreqMHz, wr.VoltageV)
+	freq, ferr := validFreqMHz(wr.FreqMHz)
+	if ferr != nil || !(wr.VoltageV > 0) || math.IsInf(wr.VoltageV, 0) {
+		return nil, ReasonBadOperPt, fmt.Errorf("invalid operating point (freq %v MHz, voltage %v V)", wr.FreqMHz, wr.VoltageV)
 	}
 	rates := make(map[pmu.EventID]float64, len(wr.Rates))
 	for name, v := range wr.Rates {
@@ -516,7 +594,7 @@ func convertRow(wr wireRow, m *core.Model) (*acquisition.Row, string, error) {
 			return nil, ReasonMissingEv, fmt.Errorf("missing model event %s", pmu.Lookup(id).Name)
 		}
 	}
-	return &acquisition.Row{FreqMHz: wr.FreqMHz, VoltageV: wr.VoltageV, Rates: rates}, "", nil
+	return &acquisition.Row{FreqMHz: freq, VoltageV: wr.VoltageV, Rates: rates}, "", nil
 }
 
 // classifyPushError maps a core.OnlineEstimator rejection to its
@@ -531,6 +609,8 @@ func classifyPushError(err error) string {
 		return ReasonBadRate
 	case errors.Is(err, core.ErrBadOperatingPoint):
 		return ReasonBadOperPt
+	case errors.Is(err, core.ErrBadPower):
+		return ReasonBadPower
 	}
 	return ReasonParse
 }

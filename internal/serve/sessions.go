@@ -32,6 +32,10 @@ type sessionKey struct {
 type session struct {
 	stream *core.StreamSession
 	alpha  float64
+	// refitWindow is the streaming-refit window the session was opened
+	// with (0 = frozen). Like alpha it is fixed at creation: the RLS
+	// window state cannot be resized, so a reopen must match.
+	refitWindow int
 	// busy marks an NDJSON stream currently attached — the per-session
 	// backpressure limit is one concurrent stream, so two clients
 	// cannot interleave one EWMA timeline.
@@ -62,8 +66,9 @@ func newSessionManager(max int, ttl time.Duration, now func() time.Time, m *Metr
 }
 
 // acquire returns the session for key, creating it (with the given
-// model and alpha) on first use, and marks it busy until release.
-func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64) (*session, *httpError) {
+// model, alpha, and refit window) on first use, and marks it busy
+// until release.
+func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64, refitWindow int) (*session, *httpError) {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	s, ok := sm.sessions[key]
@@ -76,11 +81,11 @@ func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64) 
 				err:    fmt.Errorf("serve: session limit %d reached", sm.max),
 			}
 		}
-		stream, err := core.NewStreamSession(m, alpha)
+		stream, err := core.NewStreamSessionRefit(m, alpha, refitWindow)
 		if err != nil {
 			return nil, &httpError{status: http.StatusBadRequest, reason: ReasonParse, err: err}
 		}
-		s = &session{stream: stream, alpha: alpha}
+		s = &session{stream: stream, alpha: alpha, refitWindow: refitWindow}
 		sm.sessions[key] = s
 		sm.metrics.SessionCreated()
 	} else {
@@ -97,6 +102,13 @@ func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64) 
 				status: http.StatusBadRequest,
 				reason: ReasonParse,
 				err:    fmt.Errorf("serve: session %q opened with alpha=%v; cannot reopen with alpha=%v", key.id, s.alpha, alpha),
+			}
+		}
+		if s.refitWindow != refitWindow {
+			return nil, &httpError{
+				status: http.StatusBadRequest,
+				reason: ReasonParse,
+				err:    fmt.Errorf("serve: session %q opened with refit=%d; cannot reopen with refit=%d", key.id, s.refitWindow, refitWindow),
 			}
 		}
 	}

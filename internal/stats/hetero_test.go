@@ -103,3 +103,45 @@ func TestBreuschPaganErrors(t *testing.T) {
 		t.Fatal("degenerate design must error")
 	}
 }
+
+func TestChiSquareSFNaNPropagation(t *testing.T) {
+	// Downstream renderers (expreport) rely on degenerate inputs coming
+	// back as NaN — which they convert to "n/a" — rather than as a
+	// plausible-looking probability.
+	if !math.IsNaN(ChiSquareSF(math.NaN(), 3)) {
+		t.Fatal("ChiSquareSF(NaN, 3) must be NaN")
+	}
+	if !math.IsNaN(ChiSquareSF(5, 0)) {
+		t.Fatal("ChiSquareSF(5, 0) must be NaN")
+	}
+	if !math.IsNaN(ChiSquareSF(5, -1)) {
+		t.Fatal("ChiSquareSF with negative df must be NaN")
+	}
+	if got := ChiSquareSF(-2, 3); got != 1 {
+		t.Fatalf("ChiSquareSF(-2, 3) = %v, want 1", got)
+	}
+}
+
+func TestVIFSingleColumnNaNPropagation(t *testing.T) {
+	// A one-column design has no other columns to regress on: VIF is
+	// undefined and comes back as a single NaN (the paper's "n/a" entry
+	// for the first counter), which MeanVIF propagates.
+	x := mat.New(4, 1)
+	for i := 0; i < 4; i++ {
+		x.Set(i, 0, float64(i+1))
+	}
+	vs, err := VIF(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != 1 || !math.IsNaN(vs[0]) {
+		t.Fatalf("VIF of single column = %v, want [NaN]", vs)
+	}
+	mv, err := MeanVIF(x)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsNaN(mv) {
+		t.Fatalf("MeanVIF of single column = %v, want NaN", mv)
+	}
+}

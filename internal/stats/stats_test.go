@@ -480,3 +480,50 @@ func TestVIFParallelEquivalence(t *testing.T) {
 		t.Fatalf("mean VIF differs: serial %v, parallel %v", ms, mp)
 	}
 }
+
+func TestOKVariantsDegrade(t *testing.T) {
+	// The OK variants exist for paths fed by external input: degenerate
+	// slices must come back ok=false instead of panicking.
+	if _, ok := MeanOK(nil); ok {
+		t.Fatal("MeanOK(nil) reported ok")
+	}
+	if _, ok := VarianceOK([]float64{1}); ok {
+		t.Fatal("VarianceOK of one observation reported ok")
+	}
+	if _, ok := StdDevOK(nil); ok {
+		t.Fatal("StdDevOK(nil) reported ok")
+	}
+	if _, _, ok := MinMaxOK(nil); ok {
+		t.Fatal("MinMaxOK(nil) reported ok")
+	}
+	if _, ok := QuantileOK(nil, 0.5); ok {
+		t.Fatal("QuantileOK(nil) reported ok")
+	}
+	if _, ok := QuantileOK([]float64{1, 2}, 1.5); ok {
+		t.Fatal("QuantileOK accepted q=1.5")
+	}
+	if _, ok := QuantileOK([]float64{1, 2}, math.NaN()); ok {
+		t.Fatal("QuantileOK accepted q=NaN")
+	}
+}
+
+func TestOKVariantsAgreeWithPanicking(t *testing.T) {
+	xs := []float64{3, -1, 7, 2, 5}
+	if m, ok := MeanOK(xs); !ok || m != Mean(xs) {
+		t.Fatalf("MeanOK = %v,%v", m, ok)
+	}
+	if v, ok := VarianceOK(xs); !ok || v != Variance(xs) {
+		t.Fatalf("VarianceOK = %v,%v", v, ok)
+	}
+	if s, ok := StdDevOK(xs); !ok || s != StdDev(xs) {
+		t.Fatalf("StdDevOK = %v,%v", s, ok)
+	}
+	lo, hi, ok := MinMaxOK(xs)
+	wlo, whi := MinMax(xs)
+	if !ok || lo != wlo || hi != whi {
+		t.Fatalf("MinMaxOK = %v,%v,%v", lo, hi, ok)
+	}
+	if q, ok := QuantileOK(xs, 0.25); !ok || q != Quantile(xs, 0.25) {
+		t.Fatalf("QuantileOK = %v,%v", q, ok)
+	}
+}
