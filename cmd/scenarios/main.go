@@ -1,0 +1,75 @@
+// Command scenarios runs the stress-scenario matrix: every built-in
+// scenario from internal/scenario against a freshly trained model,
+// with a console report and an optional JSON report artifact. The
+// process exits non-zero when any scenario fails, so the same command
+// gates CI and reproduces failures locally.
+//
+// Usage:
+//
+//	scenarios                       # run everything
+//	scenarios -list                 # enumerate the matrix
+//	scenarios -run counter-dropout  # substring filter
+//	scenarios -json scenarios.json  # also write the JSON report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"pmcpower/internal/scenario"
+)
+
+func main() {
+	runFilter := flag.String("run", "", "only run scenarios whose name contains this substring")
+	jsonPath := flag.String("json", "", "write the JSON report to this file")
+	list := flag.Bool("list", false, "list scenarios and exit")
+	flag.Parse()
+
+	if *list {
+		for _, s := range scenario.Builtin() {
+			fmt.Printf("%-28s %s\n", s.Name, s.Description)
+		}
+		return
+	}
+	if err := run(*runFilter, *jsonPath); err != nil {
+		fmt.Fprintln(os.Stderr, "scenarios:", err)
+		os.Exit(1)
+	}
+}
+
+func run(runFilter, jsonPath string) error {
+	fmt.Println("training scenario environment ...")
+	h, err := scenario.NewHarness()
+	if err != nil {
+		return err
+	}
+	var filter func(scenario.Scenario) bool
+	if runFilter != "" {
+		filter = func(s scenario.Scenario) bool { return strings.Contains(s.Name, runFilter) }
+	}
+	rep := h.RunAll(filter)
+	rep.WriteConsole(os.Stdout)
+	if jsonPath != "" {
+		f, err := os.Create(jsonPath)
+		if err != nil {
+			return err
+		}
+		werr := rep.WriteJSON(f)
+		if cerr := f.Close(); werr == nil {
+			werr = cerr
+		}
+		if werr != nil {
+			return werr
+		}
+		fmt.Printf("JSON report written to %s\n", jsonPath)
+	}
+	if rep.Total == 0 {
+		return fmt.Errorf("no scenario matched -run %q", runFilter)
+	}
+	if !rep.Pass {
+		return fmt.Errorf("%d of %d scenarios failed", rep.Failed, rep.Total)
+	}
+	return nil
+}

@@ -85,7 +85,10 @@ func run(wlName string, freq, threads int, seed uint64, platformName string) err
 		fmt.Printf("IPC %.2f   core voltage %.3f V   DRAM %.1f GB/s (%.0f%% of peak)\n",
 			a.IPC(), a.CoreVoltageV, a.MemBandwidthGBs(), a.MemBWUtil*100)
 
-		b := model.NodePower(platform, a)
+		b, err := model.NodePower(platform, a)
+		if err != nil {
+			return err
+		}
 		fmt.Printf("ground-truth power: %.1f W  (cores %.1f, uncore %.1f, IMC %.1f, static %.1f, const %.1f; die %.0f °C)\n",
 			b.TotalW, b.CoreDynW, b.UncoreDynW, b.IMCW, b.StaticW, b.ConstW, b.DieTempC)
 

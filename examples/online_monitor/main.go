@@ -93,7 +93,11 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		truth := gtModel.NodePower(platform, act).TotalW
+		gt, err := gtModel.NodePower(platform, act)
+		if err != nil {
+			log.Fatal(err)
+		}
+		truth := gt.TotalW
 		trueJ += truth * ph.secs
 
 		iv := &metricplugin.Interval{

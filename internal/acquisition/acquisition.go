@@ -329,11 +329,15 @@ func recordRun(o *Options, exec *cpusim.Executor, sensors []*power.Sensor,
 	if err != nil {
 		return err
 	}
-	plugins := []metricplugin.Plugin{
-		metricplugin.NewPowerPlugin(o.Model, sensors, o.SampleRateHz),
-		metricplugin.NewVoltagePlugin(o.SampleRateHz),
-		apapi,
+	powerPl, err := metricplugin.NewPowerPlugin(o.Model, sensors, o.SampleRateHz)
+	if err != nil {
+		return err
 	}
+	voltPl, err := metricplugin.NewVoltagePlugin(o.SampleRateHz)
+	if err != nil {
+		return err
+	}
+	plugins := []metricplugin.Plugin{powerPl, voltPl, apapi}
 	type pluginMetrics struct {
 		plugin metricplugin.Plugin
 		refs   []trace.Ref

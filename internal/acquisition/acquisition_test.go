@@ -144,7 +144,11 @@ func TestMeasuredPowerTracksGroundTruth(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		truth := m.NodePower(p, a).TotalW
+		gt, err := m.NodePower(p, a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		truth := gt.TotalW
 		if math.Abs(r.PowerW-truth)/truth > 0.05 {
 			t.Fatalf("threads=%d: measured %.1f W vs truth %.1f W", r.Threads, r.PowerW, truth)
 		}

@@ -36,7 +36,10 @@ func testInterval(t *testing.T, seed uint64) *Interval {
 func TestPowerPlugin(t *testing.T) {
 	model := power.DefaultModel()
 	sensors := []*power.Sensor{power.NewSensor(rng.New(9)), power.NewSensor(rng.New(10))}
-	pl := NewPowerPlugin(model, sensors, 20)
+	pl, err := NewPowerPlugin(model, sensors, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pl.Name() != "scorep_ni" {
 		t.Fatalf("plugin name = %s", pl.Name())
 	}
@@ -58,8 +61,15 @@ func TestPowerPlugin(t *testing.T) {
 	if len(samples) != 20*2 {
 		t.Fatalf("got %d samples at 20 Hz × 2 sockets over 1 s, want 40", len(samples))
 	}
-	trueW := model.NodePower(iv.Platform, iv.Activity).TotalW
-	perSocket := model.SocketPowers(iv.Platform, iv.Activity)
+	gt, err := model.NodePower(iv.Platform, iv.Activity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	trueW := gt.TotalW
+	perSocket, err := model.SocketPowers(iv.Platform, iv.Activity)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Per-tick socket sums reconstruct the node power.
 	perTick := map[uint64]float64{}
 	for i, s := range samples {
@@ -81,14 +91,20 @@ func TestPowerPlugin(t *testing.T) {
 func TestPowerPluginSocketMismatch(t *testing.T) {
 	// One sensor on a two-socket platform must be rejected at sample
 	// time.
-	pl := NewPowerPlugin(power.DefaultModel(), []*power.Sensor{power.NewSensor(rng.New(9))}, 20)
+	pl, err := NewPowerPlugin(power.DefaultModel(), []*power.Sensor{power.NewSensor(rng.New(9))}, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if _, err := pl.Sample(testInterval(t, 2)); err == nil {
 		t.Fatal("sensor/socket mismatch must error")
 	}
 }
 
 func TestVoltagePlugin(t *testing.T) {
-	pl := NewVoltagePlugin(20)
+	pl, err := NewVoltagePlugin(20)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if pl.Name() != "scorep_x86_adapt" {
 		t.Fatalf("plugin name = %s", pl.Name())
 	}
@@ -119,7 +135,10 @@ func TestVoltagePlugin(t *testing.T) {
 func TestVoltagePerCoreOffsetsStable(t *testing.T) {
 	// Distinct cores sit at slightly different, stable points of the
 	// load line.
-	pl := NewVoltagePlugin(5)
+	pl, err := NewVoltagePlugin(5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	iv := testInterval(t, 21)
 	samples, err := pl.Sample(iv)
 	if err != nil {
@@ -224,7 +243,10 @@ func TestApapiRejectsUnschedulableSet(t *testing.T) {
 
 func TestIntervalValidation(t *testing.T) {
 	good := testInterval(t, 4)
-	pl := NewVoltagePlugin(10)
+	pl, err := NewVoltagePlugin(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	cases := []func(*Interval){
 		func(iv *Interval) { iv.EndNs = iv.StartNs },
 		func(iv *Interval) { iv.Activity = nil },
@@ -240,23 +262,50 @@ func TestIntervalValidation(t *testing.T) {
 	}
 }
 
-func TestInvalidRatesPanic(t *testing.T) {
-	for _, fn := range []func(){
-		func() { NewPowerPlugin(power.DefaultModel(), []*power.Sensor{power.NewSensor(rng.New(1))}, 0) },
-		func() { NewPowerPlugin(power.DefaultModel(), nil, 10) },
-		func() { NewVoltagePlugin(-5) },
-	} {
-		func() {
-			defer func() {
-				if recover() == nil {
-					t.Fatal("invalid rate must panic")
-				}
-			}()
-			fn()
-		}()
+func TestInvalidPluginConfigErrors(t *testing.T) {
+	// Constructor validation is an error, not a panic: campaign options
+	// and CLI flags reach these parameters directly.
+	cases := []struct {
+		name string
+		make func() error
+	}{
+		{"power zero rate", func() error {
+			_, err := NewPowerPlugin(power.DefaultModel(), []*power.Sensor{power.NewSensor(rng.New(1))}, 0)
+			return err
+		}},
+		{"power negative rate", func() error {
+			_, err := NewPowerPlugin(power.DefaultModel(), []*power.Sensor{power.NewSensor(rng.New(1))}, -3)
+			return err
+		}},
+		{"power NaN rate", func() error {
+			_, err := NewPowerPlugin(power.DefaultModel(), []*power.Sensor{power.NewSensor(rng.New(1))}, math.NaN())
+			return err
+		}},
+		{"power Inf rate", func() error {
+			_, err := NewPowerPlugin(power.DefaultModel(), []*power.Sensor{power.NewSensor(rng.New(1))}, math.Inf(1))
+			return err
+		}},
+		{"power zero sensors", func() error {
+			_, err := NewPowerPlugin(power.DefaultModel(), nil, 10)
+			return err
+		}},
+		{"voltage negative rate", func() error {
+			_, err := NewVoltagePlugin(-5)
+			return err
+		}},
+		{"voltage NaN rate", func() error {
+			_, err := NewVoltagePlugin(math.NaN())
+			return err
+		}},
+		{"apapi zero rate", func() error {
+			_, err := NewApapiPlugin(pmu.MustEventSet(pmu.MustByName("TOT_CYC").ID), 0)
+			return err
+		}},
 	}
-	if _, err := NewApapiPlugin(pmu.MustEventSet(pmu.MustByName("TOT_CYC").ID), 0); err == nil {
-		t.Fatal("apapi with zero rate must error")
+	for _, tc := range cases {
+		if tc.make() == nil {
+			t.Errorf("%s: invalid plugin config must be rejected", tc.name)
+		}
 	}
 }
 

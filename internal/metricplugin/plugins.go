@@ -24,15 +24,26 @@ type PowerPlugin struct {
 
 // NewPowerPlugin builds the plugin with one sensor per socket. rateHz
 // is the rate at which samples are written to the trace (each sensor
-// integrates at its own, higher rate).
-func NewPowerPlugin(model *power.Model, sensors []*power.Sensor, rateHz float64) *PowerPlugin {
-	if rateHz <= 0 {
-		panic(fmt.Sprintf("metricplugin: invalid power sampling rate %v", rateHz))
+// integrates at its own, higher rate). Invalid configuration (a
+// non-positive or non-finite rate, zero sensors) is an error, not a
+// panic: plugin parameters arrive from campaign options and CLI flags,
+// not compile-time data.
+func NewPowerPlugin(model *power.Model, sensors []*power.Sensor, rateHz float64) (*PowerPlugin, error) {
+	if err := validRate("power", rateHz); err != nil {
+		return nil, err
 	}
 	if len(sensors) == 0 {
-		panic("metricplugin: power plugin needs at least one sensor")
+		return nil, fmt.Errorf("metricplugin: power plugin needs at least one sensor")
 	}
-	return &PowerPlugin{model: model, sensors: sensors, rateHz: rateHz}
+	return &PowerPlugin{model: model, sensors: sensors, rateHz: rateHz}, nil
+}
+
+// validRate rejects non-positive, NaN, and infinite sampling rates.
+func validRate(plugin string, rateHz float64) error {
+	if math.IsNaN(rateHz) || math.IsInf(rateHz, 0) || rateHz <= 0 {
+		return fmt.Errorf("metricplugin: invalid %s sampling rate %v", plugin, rateHz)
+	}
+	return nil
 }
 
 // Name implements Plugin.
@@ -55,7 +66,10 @@ func (p *PowerPlugin) Sample(iv *Interval) ([]SampleValue, error) {
 	if len(p.sensors) != iv.Platform.Sockets {
 		return nil, fmt.Errorf("metricplugin: %d power sensors for %d sockets", len(p.sensors), iv.Platform.Sockets)
 	}
-	perSocket := p.model.SocketPowers(iv.Platform, iv.Activity)
+	perSocket, err := p.model.SocketPowers(iv.Platform, iv.Activity)
+	if err != nil {
+		return nil, err
+	}
 	ts := ticks(iv.StartNs, iv.EndNs, p.rateHz)
 	out := make([]SampleValue, 0, len(ts)*len(p.sensors))
 	period := 1 / p.rateHz
@@ -80,11 +94,11 @@ type VoltagePlugin struct {
 }
 
 // NewVoltagePlugin builds the plugin.
-func NewVoltagePlugin(rateHz float64) *VoltagePlugin {
-	if rateHz <= 0 {
-		panic(fmt.Sprintf("metricplugin: invalid voltage sampling rate %v", rateHz))
+func NewVoltagePlugin(rateHz float64) (*VoltagePlugin, error) {
+	if err := validRate("voltage", rateHz); err != nil {
+		return nil, err
 	}
-	return &VoltagePlugin{rateHz: rateHz}
+	return &VoltagePlugin{rateHz: rateHz}, nil
 }
 
 // Name implements Plugin.
@@ -132,8 +146,8 @@ type ApapiPlugin struct {
 
 // NewApapiPlugin builds the plugin for one schedulable event set.
 func NewApapiPlugin(set *pmu.EventSet, rateHz float64) (*ApapiPlugin, error) {
-	if rateHz <= 0 {
-		return nil, fmt.Errorf("metricplugin: invalid apapi sampling rate %v", rateHz)
+	if err := validRate("apapi", rateHz); err != nil {
+		return nil, err
 	}
 	if !set.Schedulable() {
 		return nil, fmt.Errorf("metricplugin: event set %v not schedulable in one run", set)

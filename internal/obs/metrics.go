@@ -125,6 +125,82 @@ func (h *Histogram) Sum() float64 {
 	return h.sum
 }
 
+// HistogramSnapshot is a consistent point-in-time copy of a
+// histogram's state, taken under one lock acquisition so the bucket
+// counts, sum, and total agree with each other.
+type HistogramSnapshot struct {
+	// Bounds are the cumulative upper bucket bounds, ascending; the
+	// implicit +Inf bucket is not listed.
+	Bounds []float64
+	// Counts holds per-bucket (non-cumulative) observation counts,
+	// len(Bounds)+1 with the +Inf overflow last.
+	Counts []uint64
+	Sum    float64
+	Count  uint64
+}
+
+// Snapshot returns a consistent copy of the histogram's buckets.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: h.bounds,
+		Counts: append([]uint64(nil), h.counts...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// Quantile estimates the q-quantile (0 <= q <= 1) of the recorded
+// distribution by linear interpolation within the bucket holding the
+// target rank — the same estimate a Prometheus histogram_quantile
+// produces. ok is false for an empty histogram or q outside [0,1]. If
+// the rank lands in the +Inf overflow bucket the highest finite bound
+// is returned: the true value is only known to be at least that large.
+func (h *Histogram) Quantile(q float64) (float64, bool) {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-quantile from the snapshot; see
+// (*Histogram).Quantile.
+func (s HistogramSnapshot) Quantile(q float64) (float64, bool) {
+	if s.Count == 0 || math.IsNaN(q) || q < 0 || q > 1 {
+		return 0, false
+	}
+	rank := q * float64(s.Count)
+	var cum float64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		next := cum + float64(c)
+		if next < rank && i < len(s.Counts)-1 {
+			cum = next
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// Overflow bucket: no finite upper edge to interpolate to.
+			if len(s.Bounds) == 0 {
+				return 0, false
+			}
+			return s.Bounds[len(s.Bounds)-1], true
+		}
+		lo := 0.0
+		if i > 0 {
+			lo = s.Bounds[i-1]
+		}
+		hi := s.Bounds[i]
+		frac := (rank - cum) / float64(c)
+		if frac < 0 {
+			frac = 0
+		} else if frac > 1 {
+			frac = 1
+		}
+		return lo + (hi-lo)*frac, true
+	}
+	return 0, false
+}
+
 // Counter returns the counter registered under name with the given
 // labels, creating it on first use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {

@@ -1,6 +1,7 @@
 package obs
 
 import (
+	"math"
 	"strings"
 	"testing"
 )
@@ -80,6 +81,42 @@ func TestHistogramBuckets(t *testing.T) {
 	} {
 		if !strings.Contains(out, want) {
 			t.Errorf("exposition lacks %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHistogramSnapshotAndQuantile(t *testing.T) {
+	reg := NewRegistry()
+	h := reg.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	if _, ok := h.Quantile(0.99); ok {
+		t.Fatal("empty histogram reported a quantile")
+	}
+	// 10 observations in (0.01, 0.1], none elsewhere: every quantile
+	// interpolates inside that bucket.
+	for i := 0; i < 10; i++ {
+		h.Observe(0.05)
+	}
+	s := h.Snapshot()
+	if s.Count != 10 || s.Counts[1] != 10 {
+		t.Fatalf("snapshot = %+v", s)
+	}
+	q50, ok := h.Quantile(0.5)
+	if !ok || q50 <= 0.01 || q50 > 0.1 {
+		t.Fatalf("q50 = %v, %v; want inside (0.01, 0.1]", q50, ok)
+	}
+	q99, ok := h.Quantile(0.99)
+	if !ok || q99 < q50 || q99 > 0.1 {
+		t.Fatalf("q99 = %v, %v; want in [q50, 0.1]", q99, ok)
+	}
+	// A tail observation in the overflow bucket pins high quantiles to
+	// the largest finite bound.
+	h.Observe(5)
+	if q, ok := h.Quantile(1); !ok || q != 1 {
+		t.Fatalf("q100 with overflow = %v, %v; want highest finite bound 1", q, ok)
+	}
+	for _, bad := range []float64{-0.1, 1.5, math.NaN()} {
+		if _, ok := h.Quantile(bad); ok {
+			t.Errorf("Quantile(%v) reported ok", bad)
 		}
 	}
 }

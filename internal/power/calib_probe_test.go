@@ -34,7 +34,10 @@ func TestProbeMagnitudes(t *testing.T) {
 				var tot, dur, core, unc, imc, stat float64
 				var ipc float64
 				for _, a := range acts {
-					b := m.NodePower(p, a)
+					b, err := m.NodePower(p, a)
+					if err != nil {
+						t.Fatal(err)
+					}
 					tot += b.TotalW * a.DurationS
 					core += b.CoreDynW * a.DurationS
 					unc += b.UncoreDynW * a.DurationS

@@ -24,6 +24,7 @@
 package power
 
 import (
+	"fmt"
 	"math"
 
 	"pmcpower/internal/cpusim"
@@ -193,11 +194,16 @@ type Breakdown struct {
 }
 
 // NodePower computes the ground-truth average power of the node over
-// the activity interval described by a, executed on platform p.
-func (m *Model) NodePower(p *cpusim.Platform, a *cpusim.Activity) Breakdown {
+// the activity interval described by a, executed on platform p. An
+// activity whose operating frequency has no P-state on p is an error:
+// the invariant "activity was produced by this platform" stops holding
+// once activities from one backend can reach another backend's model
+// (multi-backend cpusim, scenario replay), so a mismatch must degrade
+// instead of panicking.
+func (m *Model) NodePower(p *cpusim.Platform, a *cpusim.Activity) (Breakdown, error) {
 	ps, err := p.PStateFor(a.FreqMHz)
 	if err != nil {
-		panic(err) // activity was produced by this platform
+		return Breakdown{}, fmt.Errorf("power: activity/platform mismatch: %w", err)
 	}
 	v := a.CoreVoltageV
 	if v == 0 {
@@ -306,7 +312,7 @@ func (m *Model) NodePower(p *cpusim.Platform, a *cpusim.Activity) Breakdown {
 		ConstW:     constW + vrLoss,
 		TotalW:     coreDyn + uncoreDyn + imc + static + constW + vrLoss,
 		DieTempC:   temp,
-	}
+	}, nil
 }
 
 // Sensor models the calibrated high-resolution instrumentation at the

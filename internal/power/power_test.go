@@ -26,7 +26,46 @@ func activity(t *testing.T, name string, freq, threads int, seed uint64) *cpusim
 
 func nodePower(t *testing.T, name string, freq, threads int, seed uint64) Breakdown {
 	t.Helper()
-	return DefaultModel().NodePower(cpusim.HaswellEP(), activity(t, name, freq, threads, seed))
+	b, err := DefaultModel().NodePower(cpusim.HaswellEP(), activity(t, name, freq, threads, seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+// mustNodePower and mustSocketPowers unwrap the error-returning API
+// for the in-platform test cases below (the mismatch case has its own
+// regression test).
+func mustNodePower(t *testing.T, m *Model, p *cpusim.Platform, a *cpusim.Activity) Breakdown {
+	t.Helper()
+	b, err := m.NodePower(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func mustSocketPowers(t *testing.T, m *Model, p *cpusim.Platform, a *cpusim.Activity) []float64 {
+	t.Helper()
+	per, err := m.SocketPowers(p, a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return per
+}
+
+func TestNodePowerMismatchedActivityErrors(t *testing.T) {
+	// An activity produced on the Haswell platform at 2600 MHz has no
+	// P-state on the embedded ARM platform: evaluating it there must
+	// return an error, not panic — the "activity was produced by this
+	// platform" guarantee dies as soon as activities cross backends.
+	a := activity(t, "compute", 2600, 4, 9)
+	if _, err := EmbeddedModel().NodePower(cpusim.EmbeddedARM(), a); err == nil {
+		t.Fatal("NodePower with mismatched activity/platform must error")
+	}
+	if _, err := EmbeddedModel().SocketPowers(cpusim.EmbeddedARM(), a); err == nil {
+		t.Fatal("SocketPowers with mismatched activity/platform must error")
+	}
 }
 
 func TestPowerMagnitudes(t *testing.T) {
@@ -225,7 +264,15 @@ func TestPowerOrderingProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return m.NodePower(cpusim.HaswellEP(), a24).TotalW > m.NodePower(cpusim.HaswellEP(), a1).TotalW
+		b24, err := m.NodePower(cpusim.HaswellEP(), a24)
+		if err != nil {
+			return false
+		}
+		b1, err := m.NodePower(cpusim.HaswellEP(), a1)
+		if err != nil {
+			return false
+		}
+		return b24.TotalW > b1.TotalW
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Fatal(err)
@@ -243,8 +290,8 @@ func TestSocketPowersConservation(t *testing.T) {
 		{"memory_read", 13}, {"md", 24}, {"idle", 24},
 	} {
 		a := activity(t, tc.name, 2400, tc.threads, 21)
-		total := m.NodePower(p, a).TotalW
-		per := m.SocketPowers(p, a)
+		total := mustNodePower(t, m, p, a).TotalW
+		per := mustSocketPowers(t, m, p, a)
 		if len(per) != 2 {
 			t.Fatalf("%d socket channels, want 2", len(per))
 		}
@@ -267,14 +314,14 @@ func TestSocketPowersFollowActivity(t *testing.T) {
 	// With 8 threads, all work is on socket 0: it must carry clearly
 	// more power than the idle socket 1.
 	a := activity(t, "compute", 2400, 8, 22)
-	per := m.SocketPowers(p, a)
+	per := mustSocketPowers(t, m, p, a)
 	if per[0] <= per[1] {
 		t.Fatalf("loaded socket 0 (%.1f W) must exceed idle socket 1 (%.1f W)", per[0], per[1])
 	}
 	// Balanced load → roughly balanced sockets (within the board
 	// constant on socket 0).
 	b := activity(t, "compute", 2400, 24, 22)
-	perB := m.SocketPowers(p, b)
+	perB := mustSocketPowers(t, m, p, b)
 	if diff := math.Abs(perB[0] - perB[1]); diff > 15 {
 		t.Fatalf("balanced load skewed: %.1f vs %.1f W", perB[0], perB[1])
 	}
@@ -290,11 +337,11 @@ func TestSocketPowersSingleSocket(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	per := m.SocketPowers(p, a)
+	per := mustSocketPowers(t, m, p, a)
 	if len(per) != 1 {
 		t.Fatalf("%d channels for single socket", len(per))
 	}
-	if math.Abs(per[0]-m.NodePower(p, a).TotalW) > 1e-12 {
+	if math.Abs(per[0]-mustNodePower(t, m, p, a).TotalW) > 1e-12 {
 		t.Fatal("single-socket power must equal node power")
 	}
 }

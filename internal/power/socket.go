@@ -17,13 +17,16 @@ import (
 // IMC power follow the bandwidth demand, and the node-level board
 // constant is attributed to socket 0 (where the real system's fans and
 // baseboard hang off the first supply).
-func (m *Model) SocketPowers(p *cpusim.Platform, a *cpusim.Activity) []float64 {
-	b := m.NodePower(p, a)
+func (m *Model) SocketPowers(p *cpusim.Platform, a *cpusim.Activity) ([]float64, error) {
+	b, err := m.NodePower(p, a)
+	if err != nil {
+		return nil, err
+	}
 	nSockets := p.Sockets
 	out := make([]float64, nSockets)
 	if nSockets == 1 {
 		out[0] = b.TotalW
-		return out
+		return out, nil
 	}
 
 	// Active-core share per socket (the execution engine fills socket
@@ -61,5 +64,5 @@ func (m *Model) SocketPowers(p *cpusim.Platform, a *cpusim.Activity) []float64 {
 	}
 	// Board-level constant rides on the first supply.
 	out[0] += m.NodeConstW
-	return out
+	return out, nil
 }

@@ -1,0 +1,964 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"strings"
+	"sync"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/cpusim"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/rng"
+	"pmcpower/internal/serve"
+	"pmcpower/internal/stats"
+	"pmcpower/internal/workloads"
+)
+
+// allRejectReasons is every rejection label the serving layer can
+// emit; the zero-rejection checkpoints sum over all of them so a new
+// reason cannot silently escape the scenarios.
+var allRejectReasons = []string{
+	serve.ReasonParse, serve.ReasonUnknownEv, serve.ReasonMissingEv,
+	serve.ReasonBadRate, serve.ReasonBadOperPt, serve.ReasonOutOfOrder,
+	serve.ReasonOversized, serve.ReasonSessionCap, serve.ReasonSessionBusy,
+	serve.ReasonBadPower,
+}
+
+func totalRejected(fx *serveFixture) uint64 {
+	var n uint64
+	for _, r := range allRejectReasons {
+		n += fx.srv.Metrics().Rejected(r)
+	}
+	return n
+}
+
+// Builtin returns a fresh instance of every built-in scenario, in the
+// order `make scenarios` runs them. Each Scenario value carries
+// closure state and must be run at most once.
+func Builtin() []Scenario {
+	return []Scenario{
+		BurstyInteractive(),
+		MultiTenantInterference(),
+		GovernorFlap(),
+		CounterDropout(),
+		RefitDrift(),
+		SessionChurn(),
+		MalformedClientFlood(),
+	}
+}
+
+// BurstyInteractive drives bursts of short concurrent estimation
+// streams against pmcpowerd — the interactive-client traffic shape —
+// and checks the served accuracy and the tail push latency.
+func BurstyInteractive() Scenario {
+	var fx *serveFixture
+	var mu sync.Mutex
+	var truth, pred []float64
+	const bursts, clients, perClient = 3, 8, 40
+
+	return Scenario{
+		Name:        "bursty-interactive",
+		Description: "bursts of concurrent short streams; accuracy and p99 push latency under bursty load",
+		Steps: []Step{
+			{Name: "start-server", Run: func(ctx *Context) error {
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{})
+				return err
+			}},
+			{Name: "burst-traffic", Run: func(ctx *Context) error {
+				rows := ctx.Env.Rows
+				for b := 0; b < bursts; b++ {
+					var wg sync.WaitGroup
+					errs := make([]error, clients)
+					for c := 0; c < clients; c++ {
+						wg.Add(1)
+						go func(b, c int) {
+							defer wg.Done()
+							lines := make([]string, 0, perClient)
+							var want []float64
+							for i := 0; i < perClient; i++ {
+								r := rows[(b*clients*perClient+c*perClient+i)%len(rows)]
+								lines = append(lines, rowLine(r, uint64(i+1)*1e6))
+								want = append(want, r.PowerW)
+							}
+							res, err := streamLines(fx.ts, "?model=m", lines)
+							if err != nil {
+								errs[c] = err
+								return
+							}
+							if res.status != 200 {
+								errs[c] = fmt.Errorf("burst %d client %d: HTTP %d", b, c, res.status)
+								return
+							}
+							mu.Lock()
+							for i, e := range res.estimates {
+								truth = append(truth, want[i])
+								pred = append(pred, e.InstantW)
+							}
+							mu.Unlock()
+						}(b, c)
+					}
+					wg.Wait()
+					for _, err := range errs {
+						if err != nil {
+							return err
+						}
+					}
+				}
+				ctx.M.Add("samples_sent", bursts*clients*perClient)
+				ctx.M.ObserveAll("est_w", pred)
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "all-samples-served", Check: func(ctx *Context) error {
+				if got := fx.estimatesServed(); got != bursts*clients*perClient {
+					return fmt.Errorf("served %v estimates, want %d", got, bursts*clients*perClient)
+				}
+				return nil
+			}},
+			{Name: "zero-rejections", Check: func(ctx *Context) error {
+				if n := totalRejected(fx); n != 0 {
+					return fmt.Errorf("%d samples rejected", n)
+				}
+				return nil
+			}},
+			{Name: "p99-push-latency-under-50ms", Check: func(ctx *Context) error {
+				p99, ok := fx.pushLatencyP99()
+				if !ok {
+					return fmt.Errorf("latency histogram empty")
+				}
+				ctx.M.Add("p99_push_latency_ms", p99*1e3)
+				if p99 >= 0.05 {
+					return fmt.Errorf("p99 push latency %.1f ms >= 50 ms", p99*1e3)
+				}
+				return nil
+			}},
+			{Name: "served-mape-under-10pct", Check: func(ctx *Context) error {
+				m, ok := stats.MAPEOK(truth, pred)
+				if !ok {
+					return fmt.Errorf("no (truth, estimate) pairs collected")
+				}
+				ctx.M.Add("served_mape_pct", m)
+				if m >= 10 {
+					return fmt.Errorf("served MAPE %.2f%% >= 10%%", m)
+				}
+				return nil
+			}},
+			{Name: "estimates-finite", Check: func(ctx *Context) error { return allFinite(pred) }},
+			{Name: "healthz", Check: func(ctx *Context) error { return healthErr(fx) }},
+		},
+		Cleanup: func(ctx *Context) {
+			if fx != nil {
+				fx.close()
+			}
+		},
+	}
+}
+
+// MultiTenantInterference runs several named sessions concurrently
+// through one serving node across reconnect rounds — tenants whose
+// streams contend for the same session table and metrics plumbing —
+// and checks per-tenant accuracy and session accounting.
+func MultiTenantInterference() Scenario {
+	var fx *serveFixture
+	const tenants, rounds = 6, 3
+	tenantTruth := make([][]float64, tenants)
+	tenantPred := make([][]float64, tenants)
+
+	return Scenario{
+		Name:        "multi-tenant-interference",
+		Description: "concurrent named sessions with reconnect rounds; per-tenant accuracy and session accounting",
+		Steps: []Step{
+			{Name: "start-server", Run: func(ctx *Context) error {
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{})
+				return err
+			}},
+			{Name: "tenant-traffic", Run: func(ctx *Context) error {
+				rows := ctx.Env.Rows
+				var wg sync.WaitGroup
+				errs := make([]error, tenants)
+				for tnt := 0; tnt < tenants; tnt++ {
+					// Tenant t streams every len%tenants==t row: distinct
+					// workload mixes interleaved through one server.
+					var mine []*acquisition.Row
+					for j := tnt; j < len(rows); j += tenants {
+						mine = append(mine, rows[j])
+					}
+					wg.Add(1)
+					go func(tnt int, mine []*acquisition.Row) {
+						defer wg.Done()
+						t := uint64(0)
+						for round := 0; round < rounds; round++ {
+							lines := make([]string, 0, len(mine))
+							var want []float64
+							for _, r := range mine {
+								t += 1e6
+								lines = append(lines, rowLine(r, t))
+								want = append(want, r.PowerW)
+							}
+							res, err := streamLines(fx.ts, fmt.Sprintf("?model=m&session=tenant-%d", tnt), lines)
+							if err != nil {
+								errs[tnt] = err
+								return
+							}
+							if res.status != 200 || len(res.errors) > 0 {
+								errs[tnt] = fmt.Errorf("tenant %d round %d: HTTP %d, %d error records",
+									tnt, round, res.status, len(res.errors))
+								return
+							}
+							for i, e := range res.estimates {
+								tenantTruth[tnt] = append(tenantTruth[tnt], want[i])
+								tenantPred[tnt] = append(tenantPred[tnt], e.InstantW)
+							}
+						}
+					}(tnt, mine)
+				}
+				wg.Wait()
+				for _, err := range errs {
+					if err != nil {
+						return err
+					}
+				}
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "worst-tenant-mape-under-12pct", Check: func(ctx *Context) error {
+				worst := 0.0
+				for tnt := 0; tnt < tenants; tnt++ {
+					m, ok := stats.MAPEOK(tenantTruth[tnt], tenantPred[tnt])
+					if !ok {
+						return fmt.Errorf("tenant %d collected no estimates", tnt)
+					}
+					ctx.M.Observe("tenant_mape_pct", m)
+					if m > worst {
+						worst = m
+					}
+				}
+				if worst >= 12 {
+					return fmt.Errorf("worst tenant MAPE %.2f%% >= 12%%", worst)
+				}
+				return nil
+			}},
+			{Name: "one-session-per-tenant", Check: func(ctx *Context) error {
+				if n := fx.srv.ActiveSessions(); n != tenants {
+					return fmt.Errorf("%d live sessions, want %d", n, tenants)
+				}
+				created := fx.srv.Metrics().Registry().Counter("pmcpowerd_sessions_created_total",
+					"Named estimator sessions created.").Value()
+				if created != tenants {
+					return fmt.Errorf("%d sessions created, want %d (reconnects must reuse)", created, tenants)
+				}
+				return nil
+			}},
+			{Name: "zero-rejections", Check: func(ctx *Context) error {
+				if n := totalRejected(fx); n != 0 {
+					return fmt.Errorf("%d samples rejected", n)
+				}
+				return nil
+			}},
+			{Name: "healthz", Check: func(ctx *Context) error { return healthErr(fx) }},
+		},
+		Cleanup: func(ctx *Context) {
+			if fx != nil {
+				fx.close()
+			}
+		},
+	}
+}
+
+// GovernorFlap rams the full acquisition→fit→estimate chain through a
+// thermal-throttle-shaped frequency ramp: fresh workload executions at
+// flapping P-states, counters projected to rates, streamed through the
+// estimator, checked against the simulator's ground-truth power.
+func GovernorFlap() Scenario {
+	var truth, pred []float64
+	freqsSeen := map[int]bool{}
+	flaps := []int{1200, 2600, 1600, 2400, 1200, 2000, 2600, 1200}
+	specs := []struct {
+		wl      string
+		threads int
+	}{
+		{"compute", 24}, {"md", 24}, {"memory_read", 24}, {"idle", 1},
+	}
+
+	return Scenario{
+		Name:        "governor-flap",
+		Description: "frequency ramp flapping across every P-state through fresh executions into the estimator",
+		Steps: []Step{
+			{Name: "flap-ramp", Run: func(ctx *Context) error {
+				set, err := pmu.NewEventSet(ctx.Env.Events...)
+				if err != nil {
+					return err
+				}
+				exec := cpusim.NewExecutor(ctx.Env.Platform)
+				sess, err := core.NewStreamSession(ctx.Env.Model, 0.5)
+				if err != nil {
+					return err
+				}
+				rnd := rng.New(7)
+				t := uint64(0)
+				for si, f := range flaps {
+					for wi, sp := range specs {
+						act, err := exec.Execute(cpusim.RunConfig{
+							Workload:  workloads.MustByName(sp.wl),
+							FreqMHz:   f,
+							Threads:   sp.threads,
+							DurationS: 0.25,
+						}, rnd.Split(uint64(si*len(specs)+wi)))
+						if err != nil {
+							return err
+						}
+						gt, err := ctx.Env.GroundTruth.NodePower(ctx.Env.Platform, act)
+						if err != nil {
+							return err
+						}
+						counts := cpusim.Counters(act, set)
+						rates := make(map[pmu.EventID]float64, len(counts))
+						for id, v := range counts {
+							rates[id] = v / act.DurationS
+						}
+						t += 250e6
+						est, err := sess.Push(core.CounterSample{
+							TimeNs: t, FreqMHz: f, VoltageV: act.CoreVoltageV, Rates: rates,
+						})
+						if err != nil {
+							return fmt.Errorf("push at %d MHz (%s): %w", f, sp.wl, err)
+						}
+						freqsSeen[f] = true
+						truth = append(truth, gt.TotalW)
+						pred = append(pred, est.InstantW)
+						ctx.M.Observe("truth_w", gt.TotalW)
+						ctx.M.Observe("est_w", est.InstantW)
+					}
+				}
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "all-pstates-exercised", Check: func(ctx *Context) error {
+				if len(freqsSeen) != 5 {
+					return fmt.Errorf("saw %d distinct P-states, want 5", len(freqsSeen))
+				}
+				return nil
+			}},
+			{Name: "ramp-mape-under-15pct", Check: func(ctx *Context) error {
+				m, ok := stats.MAPEOK(truth, pred)
+				if !ok {
+					return fmt.Errorf("no estimates collected")
+				}
+				ctx.M.Add("ramp_mape_pct", m)
+				if m >= 15 {
+					return fmt.Errorf("ramp MAPE %.2f%% >= 15%%", m)
+				}
+				return nil
+			}},
+			{Name: "estimates-finite", Check: func(ctx *Context) error { return allFinite(pred) }},
+		},
+	}
+}
+
+// CounterDropout streams samples where PMU events vanish mid-run (the
+// multiplexing-dropout failure mode) and checks that each incomplete
+// sample is rejected as an in-stream error record while the session
+// and every complete sample keep flowing.
+func CounterDropout() Scenario {
+	var fx *serveFixture
+	var first, second streamResult
+	var dropped, complete int
+
+	return Scenario{
+		Name:        "counter-dropout",
+		Description: "PMU events vanish between samples; incomplete samples shed in-stream, session survives",
+		Steps: []Step{
+			{Name: "start-server", Run: func(ctx *Context) error {
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{})
+				return err
+			}},
+			{Name: "stream-with-dropouts", Run: func(ctx *Context) error {
+				// The trainer selects a subset of the acquired events; only
+				// dropping an event the *model* regresses on makes the
+				// sample incomplete.
+				modelEvents := make([]string, len(ctx.Env.Model.Events))
+				for i, id := range ctx.Env.Model.Events {
+					modelEvents[i] = pmu.Lookup(id).Name
+				}
+				rows := ctx.Env.Rows
+				var lines []string
+				for i := 0; i < 60; i++ {
+					r := rows[i%len(rows)]
+					t := uint64(i+1) * 1e6
+					// Every third sample loses one of the model's events —
+					// a counter dropping out between reads. The first line
+					// stays complete so the stream enters NDJSON mode.
+					if i%3 == 2 {
+						lines = append(lines, rowLineDrop(r, t, modelEvents[i%len(modelEvents)]))
+						dropped++
+					} else {
+						lines = append(lines, rowLine(r, t))
+						complete++
+					}
+				}
+				var err error
+				first, err = streamLines(fx.ts, "?model=m&session=drop", lines)
+				if err != nil {
+					return err
+				}
+				if first.status != 200 {
+					return fmt.Errorf("stream refused: HTTP %d", first.status)
+				}
+				ctx.M.Add("dropped_samples", float64(dropped))
+				ctx.M.Add("complete_samples", float64(complete))
+				return nil
+			}},
+			{Name: "stream-after-recovery", Run: func(ctx *Context) error {
+				rows := ctx.Env.Rows
+				var lines []string
+				for i := 0; i < 5; i++ {
+					lines = append(lines, rowLine(rows[i%len(rows)], uint64(61+i)*1e6))
+				}
+				var err error
+				second, err = streamLines(fx.ts, "?model=m&session=drop", lines)
+				if err != nil {
+					return err
+				}
+				if second.status != 200 {
+					return fmt.Errorf("recovered stream refused: HTTP %d", second.status)
+				}
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "incomplete-samples-shed", Check: func(ctx *Context) error {
+				if len(first.errors) != dropped {
+					return fmt.Errorf("%d error records for %d dropouts", len(first.errors), dropped)
+				}
+				for _, e := range first.errors {
+					if e.Reason != serve.ReasonMissingEv {
+						return fmt.Errorf("dropout rejected as %q, want %q", e.Reason, serve.ReasonMissingEv)
+					}
+				}
+				if got := fx.srv.Metrics().Rejected(serve.ReasonMissingEv); got != uint64(dropped) {
+					return fmt.Errorf("missing_event metric %d, want %d", got, dropped)
+				}
+				return nil
+			}},
+			{Name: "complete-samples-served", Check: func(ctx *Context) error {
+				if len(first.estimates) != complete {
+					return fmt.Errorf("%d estimates for %d complete samples", len(first.estimates), complete)
+				}
+				if len(second.estimates) != 5 {
+					return fmt.Errorf("post-recovery stream served %d of 5", len(second.estimates))
+				}
+				return nil
+			}},
+			{Name: "session-survives", Check: func(ctx *Context) error {
+				if n := fx.srv.ActiveSessions(); n != 1 {
+					return fmt.Errorf("%d live sessions, want 1", n)
+				}
+				return nil
+			}},
+			{Name: "healthz", Check: func(ctx *Context) error { return healthErr(fx) }},
+		},
+		Cleanup: func(ctx *Context) {
+			if fx != nil {
+				fx.close()
+			}
+		},
+	}
+}
+
+// RefitDrift feeds a refit-enabled stream labelled samples whose true
+// power drifts away from the training distribution, injects an
+// ill-conditioned window (identical design rows — the downdate-
+// breakdown trigger), and checks the sliding-window refit tracks the
+// drift where the frozen fit cannot, then recovers.
+func RefitDrift() Scenario {
+	const window = 48
+	const nDrift = 600
+	const drift = 0.15 // true power ends 15% above the training fit
+	var sess *core.StreamSession
+	var lateTruth, latePred, lateFrozen []float64
+	var recTruth, recPred []float64
+
+	return Scenario{
+		Name:        "rls-refit-drift",
+		Description: "streaming refit under drifting power with an ill-conditioned-window breakdown injection",
+		Steps: []Step{
+			{Name: "drift-ramp", Run: func(ctx *Context) error {
+				var err error
+				sess, err = core.NewStreamSessionRefit(ctx.Env.Model, 1, window)
+				if err != nil {
+					return err
+				}
+				// The campaign rows come back grouped by workload and
+				// frequency; fed in that order a sliding window covers one
+				// near-degenerate slice of the design space. Shuffle
+				// deterministically so every window spans operating points,
+				// as interleaved live traffic would.
+				rows := ctx.Env.Rows
+				order := rng.New(7).Perm(len(rows))
+				for i := 0; i < nDrift; i++ {
+					r := rows[order[i%len(rows)]]
+					f := 1 + drift*float64(i)/nDrift
+					truth := r.PowerW * f
+					est, err := sess.PushLabeled(counterSample(r, uint64(i+1)*1e6), truth)
+					if err != nil {
+						return fmt.Errorf("labelled push %d: %w", i, err)
+					}
+					if i >= nDrift*2/3 {
+						lateTruth = append(lateTruth, truth)
+						latePred = append(latePred, est.InstantW)
+						lateFrozen = append(lateFrozen, ctx.Env.Model.Predict(r))
+					}
+				}
+				ctx.M.Add("model_version", float64(sess.ModelVersion()))
+				return nil
+			}},
+			{Name: "breakdown-injection", Run: func(ctx *Context) error {
+				// Fill the window with one identical design row: the RLS
+				// factorization goes singular, downdates of departing rows
+				// are prone to breakdown, and the refitter must keep
+				// serving the last solvable coefficients throughout.
+				r := ctx.Env.Rows[0]
+				for i := 0; i < 3*window; i++ {
+					truth := r.PowerW * (1 + drift)
+					est, err := sess.PushLabeled(counterSample(r, uint64(nDrift+i+1)*1e6), truth)
+					if err != nil {
+						return fmt.Errorf("degenerate push %d: %w", i, err)
+					}
+					if math.IsNaN(est.InstantW) || math.IsInf(est.InstantW, 0) {
+						return fmt.Errorf("degenerate window produced non-finite estimate %v", est.InstantW)
+					}
+				}
+				ctx.M.Add("refit_rebuilds", float64(sess.RefitRebuilds()))
+				return nil
+			}},
+			{Name: "recovery", Run: func(ctx *Context) error {
+				rows := ctx.Env.Rows
+				order := rng.New(11).Perm(len(rows))
+				base := nDrift + 3*window
+				for i := 0; i < 150; i++ {
+					r := rows[order[i%len(rows)]]
+					truth := r.PowerW * (1 + drift)
+					est, err := sess.PushLabeled(counterSample(r, uint64(base+i+1)*1e6), truth)
+					if err != nil {
+						return fmt.Errorf("recovery push %d: %w", i, err)
+					}
+					if i >= 50 { // let the window flush the degenerate rows
+						recTruth = append(recTruth, truth)
+						recPred = append(recPred, est.InstantW)
+					}
+				}
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "coefficients-refreshed", Check: func(ctx *Context) error {
+				if v := sess.ModelVersion(); v == 0 {
+					return fmt.Errorf("model version still 0: streaming refit never refreshed")
+				}
+				return nil
+			}},
+			{Name: "refit-beats-frozen-under-drift", Check: func(ctx *Context) error {
+				refit, ok1 := stats.MAPEOK(lateTruth, latePred)
+				frozen, ok2 := stats.MAPEOK(lateTruth, lateFrozen)
+				if !ok1 || !ok2 {
+					return fmt.Errorf("no late-window pairs collected")
+				}
+				ctx.M.Add("late_refit_mape_pct", refit)
+				ctx.M.Add("late_frozen_mape_pct", frozen)
+				if refit >= frozen {
+					return fmt.Errorf("refit MAPE %.2f%% not better than frozen %.2f%%", refit, frozen)
+				}
+				if refit >= 8 {
+					return fmt.Errorf("late refit MAPE %.2f%% >= 8%%", refit)
+				}
+				return nil
+			}},
+			{Name: "recovers-after-breakdown", Check: func(ctx *Context) error {
+				m, ok := stats.MAPEOK(recTruth, recPred)
+				if !ok {
+					return fmt.Errorf("no recovery pairs collected")
+				}
+				ctx.M.Add("recovery_mape_pct", m)
+				if m >= 8 {
+					return fmt.Errorf("post-breakdown MAPE %.2f%% >= 8%%", m)
+				}
+				return allFinite(recPred)
+			}},
+		},
+	}
+}
+
+// SessionChurn churns the session table to its capacity cap against
+// idle eviction on an injected clock, with a live stream racing the
+// sweeper — busy sessions must never be evicted, idle ones always.
+func SessionChurn() Scenario {
+	var fx *serveFixture
+	const maxSess = 8
+	busySurvived := false
+
+	return Scenario{
+		Name:        "session-churn",
+		Description: "session table churned to the capacity cap; idle eviction races a live stream",
+		Steps: []Step{
+			{Name: "start-server", Run: func(ctx *Context) error {
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{MaxSessions: maxSess, IdleTTL: time.Minute})
+				return err
+			}},
+			{Name: "fill-to-cap", Run: func(ctx *Context) error {
+				for i := 0; i < maxSess; i++ {
+					res, err := streamLines(fx.ts, fmt.Sprintf("?model=m&session=churn-%d", i), nil)
+					if err != nil {
+						return err
+					}
+					if res.status != 200 {
+						return fmt.Errorf("session churn-%d refused: HTTP %d", i, res.status)
+					}
+				}
+				if n := fx.srv.ActiveSessions(); n != maxSess {
+					return fmt.Errorf("%d live sessions after fill, want %d", n, maxSess)
+				}
+				return nil
+			}},
+			{Name: "overflow-rejected", Run: func(ctx *Context) error {
+				res, err := streamLines(fx.ts, "?model=m&session=overflow", nil)
+				if err != nil {
+					return err
+				}
+				if res.status != 429 {
+					return fmt.Errorf("session over cap got HTTP %d, want 429", res.status)
+				}
+				if len(res.errors) != 1 || res.errors[0].Reason != serve.ReasonSessionCap {
+					return fmt.Errorf("overflow rejection not labelled %s: %+v", serve.ReasonSessionCap, res.errors)
+				}
+				return nil
+			}},
+			{Name: "busy-survives-sweep", Run: func(ctx *Context) error {
+				hs, err := openHeldStream(fx.ts, "?model=m&session=churn-0", rowLine(ctx.Env.Rows[0], 1e6))
+				if err != nil {
+					return err
+				}
+				fx.clock.Advance(2 * time.Minute)
+				evicted := fx.srv.SweepIdleSessions()
+				busySurvived = fx.srv.ActiveSessions() == 1
+				ctx.M.Add("evicted_while_busy", float64(evicted))
+				if err := hs.release(); err != nil {
+					return err
+				}
+				if evicted != maxSess-1 {
+					return fmt.Errorf("sweep evicted %d idle sessions, want %d", evicted, maxSess-1)
+				}
+				if !busySurvived {
+					return fmt.Errorf("busy session evicted mid-stream")
+				}
+				return nil
+			}},
+			{Name: "released-session-evicts", Run: func(ctx *Context) error {
+				fx.clock.Advance(2 * time.Minute)
+				if evicted := fx.srv.SweepIdleSessions(); evicted != 1 {
+					return fmt.Errorf("post-release sweep evicted %d, want 1", evicted)
+				}
+				if n := fx.srv.ActiveSessions(); n != 0 {
+					return fmt.Errorf("%d sessions after full eviction, want 0", n)
+				}
+				return nil
+			}},
+			{Name: "churn-rounds", Run: func(ctx *Context) error {
+				for round := 0; round < 4; round++ {
+					for i := 0; i < maxSess; i++ {
+						res, err := streamLines(fx.ts, fmt.Sprintf("?model=m&session=r%d-%d", round, i), nil)
+						if err != nil {
+							return err
+						}
+						if res.status != 200 {
+							return fmt.Errorf("round %d session %d refused: HTTP %d", round, i, res.status)
+						}
+					}
+					fx.clock.Advance(2 * time.Minute)
+					if evicted := fx.srv.SweepIdleSessions(); evicted != maxSess {
+						return fmt.Errorf("round %d sweep evicted %d, want %d", round, evicted, maxSess)
+					}
+				}
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "cap-enforced-once", Check: func(ctx *Context) error {
+				if got := fx.srv.Metrics().Rejected(serve.ReasonSessionCap); got != 1 {
+					return fmt.Errorf("session_limit rejections %d, want 1", got)
+				}
+				return nil
+			}},
+			{Name: "eviction-accounting", Check: func(ctx *Context) error {
+				const want = (maxSess - 1) + 1 + 4*maxSess
+				got := fx.srv.Metrics().Registry().Counter("pmcpowerd_sessions_evicted_total",
+					"Estimator sessions evicted for idleness.").Value()
+				ctx.M.Add("evictions_total", float64(got))
+				if got != want {
+					return fmt.Errorf("evictions %d, want %d", got, want)
+				}
+				return nil
+			}},
+			{Name: "busy-never-evicted", Check: func(ctx *Context) error {
+				if !busySurvived {
+					return fmt.Errorf("busy session did not survive the sweep")
+				}
+				return nil
+			}},
+			{Name: "table-empty-at-end", Check: func(ctx *Context) error {
+				if n := fx.srv.ActiveSessions(); n != 0 {
+					return fmt.Errorf("%d sessions left, want 0", n)
+				}
+				return nil
+			}},
+			{Name: "healthz", Check: func(ctx *Context) error { return healthErr(fx) }},
+		},
+		Cleanup: func(ctx *Context) {
+			if fx != nil {
+				fx.close()
+			}
+		},
+	}
+}
+
+// MalformedClientFlood floods the server with every malformed-input
+// shape a hostile or broken client can produce and checks that each
+// one is classified and rejected, nothing panics, and the service
+// stays healthy throughout.
+func MalformedClientFlood() Scenario {
+	var fx *serveFixture
+	type probe struct {
+		name       string
+		line       string
+		query      string
+		wantStatus int
+		wantReason string
+		midStream  bool // also usable as a mid-stream garbage line
+	}
+	var probes []probe
+	var goodServed float64
+
+	return Scenario{
+		Name:        "malformed-client-flood",
+		Description: "flood of malformed, hostile, and duplicate-session input; every line classified, zero panics",
+		Steps: []Step{
+			{Name: "start-server", Run: func(ctx *Context) error {
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{MaxLineBytes: 4096})
+				if err != nil {
+					return err
+				}
+				r := ctx.Env.Rows[0]
+				negPower := -5.0
+				probes = []probe{
+					{name: "truncated-json", line: `{"time_ns":1,`, wantReason: serve.ReasonParse, midStream: true},
+					{name: "not-json", line: `!!! not json at all`, wantReason: serve.ReasonParse, midStream: true},
+					{name: "unknown-field", line: `{"bogus_field":1}`, wantReason: serve.ReasonParse, midStream: true},
+					{name: "string-frequency", line: `{"time_ns":1,"freq_mhz":"NaN","voltage_v":1,"rates":{}}`,
+						wantReason: serve.ReasonParse, midStream: true},
+					{name: "huge-frequency", line: rowLineMutate(r, 1, func(ws *wireSample) { ws.FreqMHz = 1e308 }),
+						wantReason: serve.ReasonBadOperPt, midStream: true},
+					{name: "fractional-frequency", line: rowLineMutate(r, 1, func(ws *wireSample) { ws.FreqMHz = 2400.5 }),
+						wantReason: serve.ReasonBadOperPt, midStream: true},
+					{name: "negative-frequency", line: rowLineMutate(r, 1, func(ws *wireSample) { ws.FreqMHz = -2000 }),
+						wantReason: serve.ReasonBadOperPt, midStream: true},
+					{name: "negative-voltage", line: rowLineMutate(r, 1, func(ws *wireSample) { ws.VoltageV = -1 }),
+						wantReason: serve.ReasonBadOperPt, midStream: true},
+					{name: "unknown-event", line: rowLineMutate(r, 1, func(ws *wireSample) { ws.Rates["NOT_AN_EVENT"] = 1 }),
+						wantReason: serve.ReasonUnknownEv, midStream: true},
+					{name: "no-rates", line: rowLineMutate(r, 1, func(ws *wireSample) { ws.Rates = map[string]float64{} }),
+						wantReason: serve.ReasonMissingEv, midStream: true},
+					{name: "negative-rate", line: rowLineMutate(r, 1, func(ws *wireSample) {
+						// Negate every rate in place: the wire keys are the full
+						// PAPI names, and adding a short-name alias instead would
+						// leave map order to decide which value the server sees.
+						for k := range ws.Rates {
+							ws.Rates[k] = -1
+						}
+					}),
+						wantReason: serve.ReasonBadRate, midStream: true},
+					{name: "overflowing-rate", line: strings.Replace(rowLine(r, 1), `"voltage_v"`, `"x":1e999,"voltage_v"`, 1),
+						wantReason: serve.ReasonParse, midStream: true},
+					{name: "negative-power-label", query: "&refit=64",
+						line:       rowLineMutate(r, 1, func(ws *wireSample) { ws.PowerW = &negPower }),
+						wantReason: serve.ReasonBadPower, midStream: true},
+					// Overflow the line limit but keep the whole body within
+					// the handler's early-exit drain budget (scanner buffer +
+					// deferred drain, MaxLineBytes each), so the connection
+					// stays reusable after the rejection.
+					{name: "oversized-line", line: rowLine(r, 1) + strings.Repeat(" ", 4300),
+						wantReason: serve.ReasonOversized},
+				}
+				return nil
+			}},
+			{Name: "single-shot-rejections", Run: func(ctx *Context) error {
+				for _, p := range probes {
+					res, err := streamLines(fx.ts, "?model=m"+p.query, []string{p.line})
+					if err != nil {
+						return fmt.Errorf("%s: %w", p.name, err)
+					}
+					want := p.wantStatus
+					if want == 0 {
+						want = 400
+					}
+					if res.status != want {
+						return fmt.Errorf("%s: HTTP %d, want %d", p.name, res.status, want)
+					}
+					if len(res.errors) != 1 || res.errors[0].Reason != p.wantReason {
+						return fmt.Errorf("%s: rejected as %+v, want reason %q", p.name, res.errors, p.wantReason)
+					}
+					ctx.M.Add("probe_"+p.wantReason, 1)
+				}
+				return nil
+			}},
+			{Name: "mid-stream-garbage", Run: func(ctx *Context) error {
+				r0, r1 := ctx.Env.Rows[0], ctx.Env.Rows[1]
+				lines := []string{rowLine(r0, 1e9)}
+				wantErrs := 1 // the out-of-order probe below
+				lines = append(lines, rowLine(r1, 5))
+				for _, p := range probes {
+					if p.midStream {
+						lines = append(lines, p.line)
+						wantErrs++
+					}
+				}
+				lines = append(lines, rowLine(r1, 2e9))
+				res, err := streamLines(fx.ts, "?model=m&session=flood&refit=64", lines)
+				if err != nil {
+					return err
+				}
+				if res.status != 200 {
+					return fmt.Errorf("stream refused: HTTP %d", res.status)
+				}
+				if len(res.estimates) != 2 {
+					return fmt.Errorf("%d estimates from 2 good lines", len(res.estimates))
+				}
+				goodServed += 2
+				if len(res.errors) != wantErrs {
+					return fmt.Errorf("%d error records, want %d", len(res.errors), wantErrs)
+				}
+				if res.errors[0].Reason != serve.ReasonOutOfOrder {
+					return fmt.Errorf("stale sample rejected as %q, want %q", res.errors[0].Reason, serve.ReasonOutOfOrder)
+				}
+				return nil
+			}},
+			{Name: "duplicate-session-ids", Run: func(ctx *Context) error {
+				hs, err := openHeldStream(fx.ts, "?model=m&session=dup", rowLine(ctx.Env.Rows[0], 1e6))
+				if err != nil {
+					return err
+				}
+				goodServed++
+				res, err := streamLines(fx.ts, "?model=m&session=dup", []string{rowLine(ctx.Env.Rows[0], 2e6)})
+				if err != nil {
+					hs.release()
+					return err
+				}
+				if err := hs.release(); err != nil {
+					return err
+				}
+				if res.status != 409 || len(res.errors) != 1 || res.errors[0].Reason != serve.ReasonSessionBusy {
+					return fmt.Errorf("duplicate session got HTTP %d %+v, want 409 %s",
+						res.status, res.errors, serve.ReasonSessionBusy)
+				}
+				return nil
+			}},
+			{Name: "concurrent-flood", Run: func(ctx *Context) error {
+				const floodClients, floodRounds = 12, 2
+				var wg sync.WaitGroup
+				var mu sync.Mutex
+				var transportErrs, statusErrs int
+				for c := 0; c < floodClients; c++ {
+					wg.Add(1)
+					go func() {
+						defer wg.Done()
+						for round := 0; round < floodRounds; round++ {
+							for _, p := range probes {
+								res, err := streamLines(fx.ts, "?model=m"+p.query, []string{p.line})
+								mu.Lock()
+								if err != nil {
+									transportErrs++
+								} else if res.status < 400 || res.status >= 500 {
+									statusErrs++
+									ctx.M.Add(fmt.Sprintf("flood_escape_%d_%s", res.status, p.name), 1)
+								}
+								mu.Unlock()
+							}
+						}
+					}()
+				}
+				wg.Wait()
+				ctx.M.Add("flood_requests", floodClients*floodRounds*float64(len(probes)))
+				ctx.M.Add("flood_transport_errors", float64(transportErrs))
+				ctx.M.Add("flood_status_errors", float64(statusErrs))
+				if transportErrs != 0 {
+					return fmt.Errorf("%d flood requests died at the transport (crashed handler?)", transportErrs)
+				}
+				if statusErrs != 0 {
+					return fmt.Errorf("%d flood requests escaped the 4xx rejection band", statusErrs)
+				}
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "every-reason-classified", Check: func(ctx *Context) error {
+				want := map[string]bool{}
+				for _, p := range probes {
+					want[p.wantReason] = true
+				}
+				want[serve.ReasonOutOfOrder] = true
+				want[serve.ReasonSessionBusy] = true
+				for reason := range want {
+					if fx.srv.Metrics().Rejected(reason) == 0 {
+						return fmt.Errorf("reason %q never observed", reason)
+					}
+				}
+				return nil
+			}},
+			{Name: "garbage-produced-no-estimates", Check: func(ctx *Context) error {
+				if got := fx.estimatesServed(); got != goodServed {
+					return fmt.Errorf("served %v estimates, want exactly the %v good samples", got, goodServed)
+				}
+				return nil
+			}},
+			{Name: "zero-handler-panics", Check: func(ctx *Context) error {
+				if p := fx.plog.panics(); len(p) > 0 {
+					return fmt.Errorf("http server logged %d panics: %s", len(p), p[0])
+				}
+				return nil
+			}},
+			{Name: "healthz", Check: func(ctx *Context) error { return healthErr(fx) }},
+		},
+		Cleanup: func(ctx *Context) {
+			if fx != nil {
+				fx.close()
+			}
+		},
+	}
+}
+
+// allFinite errors if any value is NaN or infinite.
+func allFinite(xs []float64) error {
+	for i, v := range xs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return fmt.Errorf("value %d is non-finite: %v", i, v)
+		}
+	}
+	return nil
+}
+
+// healthErr probes the fixture's /healthz.
+func healthErr(fx *serveFixture) error {
+	if !fx.healthy() {
+		return fmt.Errorf("/healthz not ok")
+	}
+	return nil
+}

@@ -1,0 +1,300 @@
+package scenario
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/serve"
+)
+
+// fakeClock is an injectable serve.Config.Now for the capacity and
+// eviction scenarios: idle time advances only when the scenario says
+// so.
+type fakeClock struct {
+	mu sync.Mutex
+	t  time.Time
+}
+
+func newFakeClock() *fakeClock {
+	return &fakeClock{t: time.Unix(1_700_000_000, 0)}
+}
+
+func (c *fakeClock) Now() time.Time {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.t
+}
+
+func (c *fakeClock) Advance(d time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.t = c.t.Add(d)
+}
+
+// panicLog captures the http.Server error log; net/http recovers
+// handler panics per connection and logs them here, so the flood
+// scenarios can assert "zero panics" over the whole run.
+type panicLog struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (p *panicLog) Write(b []byte) (int, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.buf.Write(b)
+}
+
+func (p *panicLog) panics() []string {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	var out []string
+	for _, line := range strings.Split(p.buf.String(), "\n") {
+		if strings.Contains(line, "panic") {
+			out = append(out, line)
+		}
+	}
+	return out
+}
+
+// serveFixture is one live pmcpowerd service for a scenario: the
+// serve.Server over the environment model (registered as "m"), an
+// httptest front end whose error log is captured for panic auditing,
+// and the injected clock.
+type serveFixture struct {
+	srv   *serve.Server
+	ts    *httptest.Server
+	plog  *panicLog
+	clock *fakeClock
+}
+
+// startServe boots a serveFixture. The caller's cfg is honored except
+// that Registry and Now are filled in (model "m", fake clock).
+func startServe(env *Env, cfg serve.Config) (*serveFixture, error) {
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("m", env.Model); err != nil {
+		return nil, err
+	}
+	cfg.Registry = reg
+	clock := newFakeClock()
+	cfg.Now = clock.Now
+	srv := serve.New(cfg)
+	plog := &panicLog{}
+	ts := httptest.NewUnstartedServer(srv.Handler())
+	ts.Config.ErrorLog = log.New(plog, "", 0)
+	ts.Start()
+	return &serveFixture{srv: srv, ts: ts, plog: plog, clock: clock}, nil
+}
+
+func (f *serveFixture) close() {
+	f.ts.Close()
+	f.srv.Close()
+}
+
+// estimatesServed reads the server-side accepted-sample counter.
+func (f *serveFixture) estimatesServed() float64 {
+	return float64(f.srv.Metrics().Registry().Counter("pmcpowerd_estimates_total",
+		"Accepted streaming samples across all sessions.").Value())
+}
+
+// pushLatencyP99 estimates the p99 of the server's per-sample push
+// latency histogram, in seconds.
+func (f *serveFixture) pushLatencyP99() (float64, bool) {
+	h := f.srv.Metrics().Registry().Histogram("pmcpowerd_estimate_latency_seconds",
+		"Per-sample estimator push latency.", nil)
+	return h.Quantile(0.99)
+}
+
+// healthy probes /healthz.
+func (f *serveFixture) healthy() bool {
+	resp, err := http.Get(f.ts.URL + "/healthz")
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode == http.StatusOK
+}
+
+// --- wire formats (mirror serve's NDJSON contract) -------------------
+
+// wireSample is one /v1/estimate input line.
+type wireSample struct {
+	TimeNs   uint64             `json:"time_ns"`
+	FreqMHz  float64            `json:"freq_mhz"`
+	VoltageV float64            `json:"voltage_v"`
+	Rates    map[string]float64 `json:"rates"`
+	PowerW   *float64           `json:"power_w,omitempty"`
+}
+
+// wireOut is one /v1/estimate output line: an estimate, an NDJSON
+// error record (Error non-empty), or the empty-body totals object.
+type wireOut struct {
+	Error        string  `json:"error"`
+	Reason       string  `json:"reason"`
+	TimeNs       uint64  `json:"time_ns"`
+	InstantW     float64 `json:"instant_w"`
+	SmoothedW    float64 `json:"smoothed_w"`
+	TotalJ       float64 `json:"total_j"`
+	Samples      uint64  `json:"samples"`
+	ModelVersion uint64  `json:"model_version"`
+}
+
+// rowLine renders a dataset row as one NDJSON input line.
+func rowLine(r *acquisition.Row, timeNs uint64) string {
+	return rowLineMutate(r, timeNs, nil)
+}
+
+// rowLineLabeled is rowLine with a measured-power label attached.
+func rowLineLabeled(r *acquisition.Row, timeNs uint64, powerW float64) string {
+	return rowLineMutate(r, timeNs, func(ws *wireSample) { ws.PowerW = &powerW })
+}
+
+// rowLineDrop is rowLine with one event removed from the rates — the
+// wire image of a PMU counter dropping out mid-run.
+func rowLineDrop(r *acquisition.Row, timeNs uint64, drop string) string {
+	return rowLineMutate(r, timeNs, func(ws *wireSample) { delete(ws.Rates, drop) })
+}
+
+// rowLineMutate renders a row, applying an optional wire-level edit.
+func rowLineMutate(r *acquisition.Row, timeNs uint64, edit func(*wireSample)) string {
+	rates := make(map[string]float64, len(r.Rates))
+	for id, v := range r.Rates {
+		rates[pmu.Lookup(id).Name] = v
+	}
+	ws := wireSample{TimeNs: timeNs, FreqMHz: float64(r.FreqMHz), VoltageV: r.VoltageV, Rates: rates}
+	if edit != nil {
+		edit(&ws)
+	}
+	b, err := json.Marshal(ws)
+	if err != nil {
+		// A dataset row always marshals; reaching here is a scenario bug.
+		panic(err)
+	}
+	return string(b)
+}
+
+// counterSample converts a dataset row to the direct-API sample form.
+func counterSample(r *acquisition.Row, timeNs uint64) core.CounterSample {
+	rates := make(map[pmu.EventID]float64, len(r.Rates))
+	for id, v := range r.Rates {
+		rates[id] = v
+	}
+	return core.CounterSample{TimeNs: timeNs, FreqMHz: r.FreqMHz, VoltageV: r.VoltageV, Rates: rates}
+}
+
+// streamResult is one NDJSON exchange: the HTTP status, the decoded
+// estimate lines, and the decoded mid-stream error records.
+type streamResult struct {
+	status    int
+	estimates []wireOut
+	errors    []wireOut
+}
+
+// streamLines POSTs lines as one NDJSON request and decodes every
+// response line. A transport-level failure (connection died — e.g. a
+// crashed handler) is returned as an error.
+func streamLines(ts *httptest.Server, query string, lines []string) (streamResult, error) {
+	body := ""
+	if len(lines) > 0 {
+		body = strings.Join(lines, "\n") + "\n"
+	}
+	resp, err := http.Post(ts.URL+"/v1/estimate"+query, "application/x-ndjson", strings.NewReader(body))
+	if err != nil {
+		return streamResult{}, fmt.Errorf("scenario: stream transport: %w", err)
+	}
+	defer resp.Body.Close()
+	out := streamResult{status: resp.StatusCode}
+	// Rejections and empty-body totals come back as one indented JSON
+	// object (Content-Type application/json); only live streams are
+	// NDJSON.
+	if ct := resp.Header.Get("Content-Type"); strings.HasPrefix(ct, "application/json") {
+		var w wireOut
+		if err := json.NewDecoder(resp.Body).Decode(&w); err != nil {
+			return out, fmt.Errorf("scenario: undecodable response body: %w", err)
+		}
+		if w.Error != "" {
+			out.errors = append(out.errors, w)
+		} else {
+			out.estimates = append(out.estimates, w)
+		}
+		return out, nil
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var w wireOut
+		if err := json.Unmarshal(line, &w); err != nil {
+			return out, fmt.Errorf("scenario: undecodable response line %q: %w", line, err)
+		}
+		if w.Error != "" {
+			out.errors = append(out.errors, w)
+		} else {
+			out.estimates = append(out.estimates, w)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return out, fmt.Errorf("scenario: reading stream response: %w", err)
+	}
+	return out, nil
+}
+
+// heldStream is an NDJSON request kept open on purpose, so its
+// session stays busy until released.
+type heldStream struct {
+	pw   *io.PipeWriter
+	resp *http.Response
+	done chan error
+}
+
+// openHeldStream starts a stream on query, pushes one first line, and
+// returns once the server has begun responding — at which point the
+// session is provably acquired and busy.
+func openHeldStream(ts *httptest.Server, query, firstLine string) (*heldStream, error) {
+	pr, pw := io.Pipe()
+	respCh := make(chan *http.Response, 1)
+	done := make(chan error, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/estimate"+query, "application/x-ndjson", pr)
+		if err != nil {
+			done <- err
+			respCh <- nil
+			return
+		}
+		respCh <- resp
+	}()
+	if _, err := io.WriteString(pw, firstLine+"\n"); err != nil {
+		return nil, err
+	}
+	resp := <-respCh
+	if resp == nil {
+		return nil, <-done
+	}
+	return &heldStream{pw: pw, resp: resp, done: done}, nil
+}
+
+// release closes the input side and drains the response, returning
+// only after the server handler has finished (the session is idle
+// again).
+func (h *heldStream) release() error {
+	h.pw.Close()
+	_, err := io.Copy(io.Discard, h.resp.Body)
+	h.resp.Body.Close()
+	return err
+}

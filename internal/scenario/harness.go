@@ -1,0 +1,225 @@
+package scenario
+
+import (
+	"fmt"
+	"runtime/debug"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/cpusim"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/power"
+	"pmcpower/internal/workloads"
+)
+
+// Env is the shared trained environment every scenario runs against:
+// one acquisition campaign over the full Haswell P-state ladder and
+// one Equation-1 fit on it, plus the simulated platform and its
+// ground-truth power model for generating fresh labelled traffic.
+// Building it is the expensive part of a harness; scenarios share it
+// read-only.
+type Env struct {
+	Events      []pmu.EventID
+	Platform    *cpusim.Platform
+	GroundTruth *power.Model
+	Model       *core.Model
+	Rows        []*acquisition.Row
+}
+
+// EnvEventNames is the counter set the environment model is trained
+// on — the serving fixtures' six-event set.
+var EnvEventNames = []string{"LST_INS", "STL_CCY", "L3_TCM", "TOT_CYC", "BR_UCN", "BR_TKN"}
+
+// NewEnv acquires the training campaign (seed 42, all active
+// workloads, every Haswell P-state) and trains the scenario model.
+func NewEnv() (*Env, error) {
+	events := make([]pmu.EventID, 0, len(EnvEventNames))
+	for _, n := range EnvEventNames {
+		ev, err := pmu.ByName(n)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		events = append(events, ev.ID)
+	}
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: 42, Events: events},
+		workloads.Active(), []int{1200, 1600, 2000, 2400, 2600})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: acquiring training campaign: %w", err)
+	}
+	m, err := core.Train(ds.Rows, events, core.TrainOptions{})
+	if err != nil {
+		return nil, fmt.Errorf("scenario: training: %w", err)
+	}
+	return &Env{
+		Events:      events,
+		Platform:    cpusim.HaswellEP(),
+		GroundTruth: power.DefaultModel(),
+		Model:       m,
+		Rows:        ds.Rows,
+	}, nil
+}
+
+// Harness runs scenarios against one shared Env.
+type Harness struct {
+	env       *Env
+	scenarios []Scenario
+}
+
+// NewHarness builds the environment and registers the given
+// scenarios; with none given it registers the built-in matrix.
+func NewHarness(scenarios ...Scenario) (*Harness, error) {
+	env, err := NewEnv()
+	if err != nil {
+		return nil, err
+	}
+	return NewHarnessEnv(env, scenarios...), nil
+}
+
+// NewHarnessEnv is NewHarness over a caller-built (or test-stubbed)
+// environment.
+func NewHarnessEnv(env *Env, scenarios ...Scenario) *Harness {
+	if len(scenarios) == 0 {
+		scenarios = Builtin()
+	}
+	return &Harness{env: env, scenarios: scenarios}
+}
+
+// Env returns the shared environment.
+func (h *Harness) Env() *Env { return h.env }
+
+// Scenarios returns the registered scenarios in run order.
+func (h *Harness) Scenarios() []Scenario { return h.scenarios }
+
+// RunScenario executes one scenario: steps in order, then checkpoints
+// if every step succeeded, with panics contained into the result. It
+// never panics itself.
+func (h *Harness) RunScenario(s Scenario) Result {
+	start := time.Now()
+	ctx := &Context{Env: h.env, M: NewMetrics()}
+	res := Result{Name: s.Name, Description: s.Description}
+
+	stepsOK := true
+	for _, step := range s.Steps {
+		if !stepsOK {
+			res.Steps = append(res.Steps, StepResult{Name: step.Name, Status: StatusSkipped})
+			continue
+		}
+		sr := runStep(ctx, step)
+		if sr.Status == StatusPanic {
+			res.Panicked = true
+		}
+		if sr.Status != StatusOK {
+			stepsOK = false
+		}
+		res.Steps = append(res.Steps, sr)
+	}
+
+	for _, cp := range s.Checkpoints {
+		if !stepsOK {
+			res.Checks = append(res.Checks, CheckResult{Name: cp.Name, Status: StatusSkipped})
+			continue
+		}
+		cr := runCheckpoint(ctx, cp)
+		if cr.Status == StatusPanic {
+			res.Panicked = true
+		}
+		res.Checks = append(res.Checks, cr)
+	}
+
+	if s.Cleanup != nil {
+		func() {
+			defer func() {
+				if r := recover(); r != nil {
+					res.Panicked = true
+					res.Checks = append(res.Checks, CheckResult{
+						Name: "cleanup", Status: StatusPanic,
+						Detail: fmt.Sprintf("panic: %v\n%s", r, debug.Stack()),
+					})
+				}
+			}()
+			s.Cleanup(ctx)
+		}()
+	}
+
+	// The implicit contract every scenario carries: nothing panicked.
+	noPanic := CheckResult{Name: "no-panic", Status: StatusPass}
+	if res.Panicked {
+		noPanic.Status = StatusFail
+		noPanic.Detail = "a step or checkpoint panicked"
+	}
+	res.Checks = append(res.Checks, noPanic)
+
+	res.Pass = stepsOK && !res.Panicked
+	for _, cr := range res.Checks {
+		if cr.Status == StatusFail || cr.Status == StatusPanic {
+			res.Pass = false
+		}
+	}
+	res.DurationMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	res.Metrics = ctx.M.Summaries()
+	res.Logs = ctx.Logs()
+	return res
+}
+
+// RunAll runs every registered scenario whose name passes the filter
+// (nil = all) and aggregates the report.
+func (h *Harness) RunAll(filter func(Scenario) bool) Report {
+	start := time.Now()
+	var rep Report
+	rep.Pass = true
+	for _, s := range h.scenarios {
+		if filter != nil && !filter(s) {
+			continue
+		}
+		r := h.RunScenario(s)
+		rep.Scenarios = append(rep.Scenarios, r)
+		rep.Total++
+		if r.Pass {
+			rep.Passed++
+		} else {
+			rep.Failed++
+			rep.Pass = false
+		}
+	}
+	rep.DurationMS = float64(time.Since(start).Nanoseconds()) / 1e6
+	return rep
+}
+
+// runStep executes one step with panic containment.
+func runStep(ctx *Context, step Step) (sr StepResult) {
+	sr.Name = step.Name
+	start := time.Now()
+	defer func() {
+		sr.DurationMS = float64(time.Since(start).Nanoseconds()) / 1e6
+		if r := recover(); r != nil {
+			sr.Status = StatusPanic
+			sr.Detail = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := step.Run(ctx); err != nil {
+		sr.Status = StatusError
+		sr.Detail = err.Error()
+		return sr
+	}
+	sr.Status = StatusOK
+	return sr
+}
+
+// runCheckpoint evaluates one checkpoint with panic containment.
+func runCheckpoint(ctx *Context, cp Checkpoint) (cr CheckResult) {
+	cr.Name = cp.Name
+	defer func() {
+		if r := recover(); r != nil {
+			cr.Status = StatusPanic
+			cr.Detail = fmt.Sprintf("panic: %v\n%s", r, debug.Stack())
+		}
+	}()
+	if err := cp.Check(ctx); err != nil {
+		cr.Status = StatusFail
+		cr.Detail = err.Error()
+		return cr
+	}
+	cr.Status = StatusPass
+	return cr
+}

@@ -1,0 +1,240 @@
+package scenario
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+)
+
+// stubEnv skips the expensive acquisition+training: harness mechanics
+// do not touch the environment.
+func stubEnv() *Env { return &Env{} }
+
+func TestRunScenarioAllGreen(t *testing.T) {
+	var order []string
+	h := NewHarnessEnv(stubEnv(), Scenario{
+		Name: "green",
+		Steps: []Step{
+			{Name: "a", Run: func(ctx *Context) error { order = append(order, "a"); ctx.M.Add("n", 1); return nil }},
+			{Name: "b", Run: func(ctx *Context) error { order = append(order, "b"); ctx.M.Observe("lat", 0.5); return nil }},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "counted", Check: func(ctx *Context) error {
+				if ctx.M.Count("n") != 1 {
+					return errors.New("counter lost")
+				}
+				return nil
+			}},
+		},
+		Cleanup: func(*Context) { order = append(order, "cleanup") },
+	})
+	res := h.RunScenario(h.Scenarios()[0])
+	if !res.Pass {
+		t.Fatalf("green scenario failed: %+v", res)
+	}
+	if want := []string{"a", "b", "cleanup"}; strings.Join(order, ",") != strings.Join(want, ",") {
+		t.Fatalf("execution order %v, want %v", order, want)
+	}
+	// Implicit no-panic check is always appended and passes here.
+	last := res.Checks[len(res.Checks)-1]
+	if last.Name != "no-panic" || last.Status != StatusPass {
+		t.Fatalf("implicit check = %+v", last)
+	}
+	if res.Metrics["n"].Value != 1 || res.Metrics["lat"].N != 1 {
+		t.Fatalf("metrics not summarized: %+v", res.Metrics)
+	}
+}
+
+func TestStepErrorSkipsRestAndChecks(t *testing.T) {
+	ran := map[string]bool{}
+	cleaned := false
+	h := NewHarnessEnv(stubEnv(), Scenario{
+		Name: "stops",
+		Steps: []Step{
+			{Name: "fails", Run: func(*Context) error { return errors.New("boom") }},
+			{Name: "after", Run: func(*Context) error { ran["after"] = true; return nil }},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "never", Check: func(*Context) error { ran["never"] = true; return nil }},
+		},
+		Cleanup: func(*Context) { cleaned = true },
+	})
+	res := h.RunScenario(h.Scenarios()[0])
+	if res.Pass {
+		t.Fatal("scenario with failing step passed")
+	}
+	if ran["after"] || ran["never"] {
+		t.Fatalf("work ran past the failing step: %v", ran)
+	}
+	if !cleaned {
+		t.Fatal("cleanup skipped after step failure")
+	}
+	if res.Steps[0].Status != StatusError || res.Steps[1].Status != StatusSkipped {
+		t.Fatalf("step statuses %q, %q", res.Steps[0].Status, res.Steps[1].Status)
+	}
+	if res.Checks[0].Status != StatusSkipped {
+		t.Fatalf("checkpoint status %q, want skipped", res.Checks[0].Status)
+	}
+}
+
+func TestPanicContainment(t *testing.T) {
+	h := NewHarnessEnv(stubEnv(),
+		Scenario{
+			Name:  "panicking-step",
+			Steps: []Step{{Name: "explode", Run: func(*Context) error { panic("step kaboom") }}},
+		},
+		Scenario{
+			Name:  "panicking-check",
+			Steps: []Step{{Name: "fine", Run: func(*Context) error { return nil }}},
+			Checkpoints: []Checkpoint{
+				{Name: "explode", Check: func(*Context) error { panic("check kaboom") }},
+			},
+		},
+		Scenario{
+			Name:    "panicking-cleanup",
+			Steps:   []Step{{Name: "fine", Run: func(*Context) error { return nil }}},
+			Cleanup: func(*Context) { panic("cleanup kaboom") },
+		},
+	)
+	rep := h.RunAll(nil)
+	if rep.Pass || rep.Failed != 3 {
+		t.Fatalf("report = %+v, want 3 contained failures", rep)
+	}
+	for _, res := range rep.Scenarios {
+		if !res.Panicked {
+			t.Errorf("%s: panic not recorded", res.Name)
+		}
+		noPanic := res.Checks[len(res.Checks)-1]
+		if noPanic.Name != "no-panic" || noPanic.Status != StatusFail {
+			t.Errorf("%s: implicit check = %+v", res.Name, noPanic)
+		}
+	}
+	if got := rep.Scenarios[0].Steps[0]; got.Status != StatusPanic || !strings.Contains(got.Detail, "step kaboom") {
+		t.Fatalf("panicking step result = %+v", got)
+	}
+}
+
+func TestRunAllFilter(t *testing.T) {
+	h := NewHarnessEnv(stubEnv(),
+		Scenario{Name: "alpha"},
+		Scenario{Name: "beta"},
+	)
+	rep := h.RunAll(func(s Scenario) bool { return s.Name == "beta" })
+	if rep.Total != 1 || rep.Scenarios[0].Name != "beta" {
+		t.Fatalf("filtered report = %+v", rep)
+	}
+}
+
+func TestFailedCheckpointFailsScenario(t *testing.T) {
+	h := NewHarnessEnv(stubEnv(), Scenario{
+		Name:  "red-check",
+		Steps: []Step{{Name: "fine", Run: func(*Context) error { return nil }}},
+		Checkpoints: []Checkpoint{
+			{Name: "good", Check: func(*Context) error { return nil }},
+			{Name: "bad", Check: func(*Context) error { return errors.New("invariant broken") }},
+		},
+	})
+	res := h.RunScenario(h.Scenarios()[0])
+	if res.Pass {
+		t.Fatal("scenario passed with a failing checkpoint")
+	}
+	if res.Checks[0].Status != StatusPass || res.Checks[1].Status != StatusFail {
+		t.Fatalf("check statuses %q, %q", res.Checks[0].Status, res.Checks[1].Status)
+	}
+}
+
+func TestMetricsSummaries(t *testing.T) {
+	m := NewMetrics()
+	m.Add("count", 2)
+	m.Add("count", 3)
+	m.ObserveAll("xs", []float64{1, 2, 3, 4})
+	s := m.Summaries()
+	if c := s["count"]; c.Kind != "counter" || c.Value != 5 {
+		t.Fatalf("counter summary = %+v", c)
+	}
+	xs := s["xs"]
+	if xs.Kind != "series" || xs.N != 4 || xs.Min != 1 || xs.Max != 4 || xs.Mean != 2.5 {
+		t.Fatalf("series summary = %+v", xs)
+	}
+	// Empty series degrade instead of panicking.
+	m.Observe("one", 7)
+	if got := m.Series("missing"); got != nil {
+		t.Fatalf("missing series = %v, want nil", got)
+	}
+}
+
+func TestReportJSONRoundTrip(t *testing.T) {
+	h := NewHarnessEnv(stubEnv(), Scenario{
+		Name:  "json",
+		Steps: []Step{{Name: "ok", Run: func(ctx *Context) error { ctx.Logf("hello %d", 42); return nil }}},
+	})
+	rep := h.RunAll(nil)
+	var buf bytes.Buffer
+	if err := rep.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var back Report
+	if err := json.Unmarshal(buf.Bytes(), &back); err != nil {
+		t.Fatalf("report JSON does not round-trip: %v", err)
+	}
+	if back.Total != 1 || !back.Pass || back.Scenarios[0].Logs[0] != "hello 42" {
+		t.Fatalf("round-tripped report = %+v", back)
+	}
+	var console bytes.Buffer
+	rep.WriteConsole(&console)
+	if !strings.Contains(console.String(), "json") || !strings.Contains(console.String(), "PASS") {
+		t.Fatalf("console report missing content:\n%s", console.String())
+	}
+}
+
+// TestBuiltinMatrixShape pins the contract the Makefile target and CI
+// depend on: at least six scenarios, unique names, every one carrying
+// checkpoints.
+func TestBuiltinMatrixShape(t *testing.T) {
+	bs := Builtin()
+	if len(bs) < 6 {
+		t.Fatalf("%d built-in scenarios, want >= 6", len(bs))
+	}
+	seen := map[string]bool{}
+	for _, s := range bs {
+		if s.Name == "" || s.Description == "" {
+			t.Errorf("scenario missing name or description: %+v", s.Name)
+		}
+		if seen[s.Name] {
+			t.Errorf("duplicate scenario name %q", s.Name)
+		}
+		seen[s.Name] = true
+		if len(s.Steps) == 0 || len(s.Checkpoints) == 0 {
+			t.Errorf("%s: no steps or no checkpoints", s.Name)
+		}
+	}
+	for _, want := range []string{"counter-dropout", "malformed-client-flood"} {
+		if !seen[want] {
+			t.Errorf("issue-mandated scenario %q missing from matrix", want)
+		}
+	}
+}
+
+// TestBuiltinMatrixEndToEnd runs the real matrix — trained model, live
+// servers, full traffic — so `go test ./...` carries the same contract
+// as `make scenarios`.
+func TestBuiltinMatrixEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full scenario matrix skipped in -short mode")
+	}
+	h, err := NewHarness()
+	if err != nil {
+		t.Fatalf("building harness: %v", err)
+	}
+	rep := h.RunAll(nil)
+	if !rep.Pass {
+		var buf bytes.Buffer
+		rep.WriteConsole(&buf)
+		t.Fatalf("%d of %d scenarios failed:\n%s", rep.Failed, rep.Total, buf.String())
+	}
+	if rep.Total < 6 {
+		t.Fatalf("matrix ran %d scenarios, want >= 6", rep.Total)
+	}
+}

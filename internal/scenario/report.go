@@ -1,0 +1,135 @@
+package scenario
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Statuses of steps and checkpoints in a Result.
+const (
+	StatusOK      = "ok"
+	StatusError   = "error"
+	StatusPanic   = "panic"
+	StatusSkipped = "skipped"
+	StatusPass    = "pass"
+	StatusFail    = "fail"
+)
+
+// StepResult is the outcome of one step.
+type StepResult struct {
+	Name       string  `json:"name"`
+	Status     string  `json:"status"`
+	Detail     string  `json:"detail,omitempty"`
+	DurationMS float64 `json:"duration_ms"`
+}
+
+// CheckResult is the outcome of one checkpoint.
+type CheckResult struct {
+	Name   string `json:"name"`
+	Status string `json:"status"`
+	Detail string `json:"detail,omitempty"`
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Name        string                   `json:"name"`
+	Description string                   `json:"description"`
+	Pass        bool                     `json:"pass"`
+	Panicked    bool                     `json:"panicked"`
+	DurationMS  float64                  `json:"duration_ms"`
+	Steps       []StepResult             `json:"steps"`
+	Checks      []CheckResult            `json:"checks"`
+	Metrics     map[string]MetricSummary `json:"metrics,omitempty"`
+	Logs        []string                 `json:"logs,omitempty"`
+}
+
+// Report aggregates a RunAll.
+type Report struct {
+	Pass       bool     `json:"pass"`
+	Total      int      `json:"total"`
+	Passed     int      `json:"passed"`
+	Failed     int      `json:"failed"`
+	DurationMS float64  `json:"duration_ms"`
+	Scenarios  []Result `json:"scenarios"`
+}
+
+// WriteJSON renders the report as indented JSON.
+func (r Report) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}
+
+// WriteConsole renders the human-facing report: one block per
+// scenario with its steps, checkpoints, logs, and metric summaries,
+// then the totals line.
+func (r Report) WriteConsole(w io.Writer) {
+	for _, s := range r.Scenarios {
+		verdict := "PASS"
+		if !s.Pass {
+			verdict = "FAIL"
+		}
+		fmt.Fprintf(w, "=== %-28s %s  (%.0f ms)\n", s.Name, verdict, s.DurationMS)
+		fmt.Fprintf(w, "    %s\n", s.Description)
+		for _, st := range s.Steps {
+			mark := statusMark(st.Status)
+			fmt.Fprintf(w, "    %s step  %-36s %s", mark, st.Name, st.Status)
+			if st.Status != StatusSkipped {
+				fmt.Fprintf(w, "  (%.0f ms)", st.DurationMS)
+			}
+			fmt.Fprintln(w)
+			if st.Detail != "" {
+				fmt.Fprintf(w, "        %s\n", firstLine(st.Detail))
+			}
+		}
+		for _, c := range s.Checks {
+			fmt.Fprintf(w, "    %s check %-36s %s\n", statusMark(c.Status), c.Name, c.Status)
+			if c.Detail != "" {
+				fmt.Fprintf(w, "        %s\n", firstLine(c.Detail))
+			}
+		}
+		for _, l := range s.Logs {
+			fmt.Fprintf(w, "    · %s\n", l)
+		}
+		if len(s.Metrics) > 0 {
+			names := make([]string, 0, len(s.Metrics))
+			for n := range s.Metrics {
+				names = append(names, n)
+			}
+			sort.Strings(names)
+			for _, n := range names {
+				m := s.Metrics[n]
+				if m.Kind == "counter" {
+					fmt.Fprintf(w, "      %-32s %g\n", n, m.Value)
+				} else {
+					fmt.Fprintf(w, "      %-32s n=%d min=%.4g mean=%.4g p99=%.4g max=%.4g\n",
+						n, m.N, m.Min, m.Mean, m.P99, m.Max)
+				}
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "scenarios: %d run, %d passed, %d failed  (%.1f s)\n",
+		r.Total, r.Passed, r.Failed, r.DurationMS/1e3)
+}
+
+func statusMark(status string) string {
+	switch status {
+	case StatusOK, StatusPass:
+		return "✓"
+	case StatusSkipped:
+		return "-"
+	default:
+		return "✗"
+	}
+}
+
+func firstLine(s string) string {
+	if i := strings.IndexByte(s, '\n'); i >= 0 {
+		return s[:i]
+	}
+	return s
+}
