@@ -10,16 +10,20 @@
 //
 // Endpoints:
 //
-//	GET  /healthz               liveness
+//	GET  /healthz               readiness (503 with no models; ?deep=1 also fails on drift alert)
 //	GET  /v1/models             registered models (name, version, events, R²)
+//	GET  /v1/status             service + model-quality status document (pmcpowertop polls this)
 //	POST /v1/predict            batch prediction over JSON rows
 //	POST /v1/estimate           streaming NDJSON estimation
+//	GET  /debug/exemplars       worst-residual labelled samples per model
 //	GET  /metrics               Prometheus text metrics (shared obs registry)
 //
 // /v1/estimate reads one JSON counter sample per line and writes one
 // estimate per line; ?session=ID keeps estimator state across
 // requests, ?alpha=0.3 sets the EWMA factor, ?model=name@2 pins a
-// model version.
+// model version. Samples carrying a measured power_w feed the
+// model-quality tracker (windowed MAPE, bias, error quantiles, drift
+// state) regardless of whether streaming refit is enabled.
 //
 // Observability: logs are structured JSON on stderr (-log-level
 // debug|info|warn|error). With -debug-addr a second, private listener
@@ -44,6 +48,7 @@ import (
 	"pmcpower/internal/core"
 	"pmcpower/internal/obs"
 	"pmcpower/internal/pmu"
+	"pmcpower/internal/quality"
 	"pmcpower/internal/serve"
 	"pmcpower/internal/workloads"
 )
@@ -61,6 +66,11 @@ func main() {
 	refitWindow := flag.Int("refit-window", 0, "default streaming-refit window (rows) for labelled estimate streams; 0 serves frozen models (per-stream ?refit= overrides)")
 	idleTTL := flag.Duration("idle-ttl", 5*time.Minute, "evict estimator sessions idle this long")
 	maxSessions := flag.Int("max-sessions", 1024, "cap on concurrent estimator sessions")
+	qualityWindow := flag.Int("quality-window", 256, "sliding-window size (labelled samples) for model-quality tracking")
+	qualityExemplars := flag.Int("quality-exemplars", 32, "worst-residual samples kept per model for /debug/exemplars")
+	warnMAPE := flag.Float64("quality-warn-mape", 10, "windowed MAPE %% that moves a model to drift warn (negative disables)")
+	alertMAPE := flag.Float64("quality-alert-mape", 20, "windowed MAPE %% that moves a model to drift alert (negative disables)")
+	noQuality := flag.Bool("no-quality", false, "disable model-quality tracking entirely")
 	flag.Parse()
 
 	level, err := obs.ParseLevel(*logLevel)
@@ -69,13 +79,48 @@ func main() {
 		os.Exit(2)
 	}
 	logger := obs.NewLogger(os.Stderr, level)
-	if err := run(logger, modelPaths, *addr, *debugAddr, *selfcal, *seed, *alpha, *refitWindow, *idleTTL, *maxSessions); err != nil {
+	opts := options{
+		modelPaths:       modelPaths,
+		addr:             *addr,
+		debugAddr:        *debugAddr,
+		selfcal:          *selfcal,
+		seed:             *seed,
+		alpha:            *alpha,
+		refitWindow:      *refitWindow,
+		idleTTL:          *idleTTL,
+		maxSessions:      *maxSessions,
+		qualityWindow:    *qualityWindow,
+		qualityExemplars: *qualityExemplars,
+		warnMAPE:         *warnMAPE,
+		alertMAPE:        *alertMAPE,
+		noQuality:        *noQuality,
+	}
+	if err := run(logger, opts); err != nil {
 		logger.Error("fatal", "err", err.Error())
 		os.Exit(1)
 	}
 }
 
-func run(logger *slog.Logger, modelPaths []string, addr, debugAddr string, selfcal bool, seed uint64, alpha float64, refitWindow int, idleTTL time.Duration, maxSessions int) error {
+// options is the parsed flag set.
+type options struct {
+	modelPaths       []string
+	addr, debugAddr  string
+	selfcal          bool
+	seed             uint64
+	alpha            float64
+	refitWindow      int
+	idleTTL          time.Duration
+	maxSessions      int
+	qualityWindow    int
+	qualityExemplars int
+	warnMAPE         float64
+	alertMAPE        float64
+	noQuality        bool
+}
+
+func run(logger *slog.Logger, opts options) error {
+	modelPaths, addr, debugAddr := opts.modelPaths, opts.addr, opts.debugAddr
+	selfcal, seed := opts.selfcal, opts.seed
 	start := time.Now()
 	reg := serve.NewRegistry()
 	for _, p := range modelPaths {
@@ -101,14 +146,21 @@ func run(logger *slog.Logger, modelPaths []string, addr, debugAddr string, selfc
 
 	tracer := obs.NewTracer()
 	srv := serve.New(serve.Config{
-		Registry:     reg,
-		DefaultAlpha: alpha,
-		RefitWindow:  refitWindow,
-		IdleTTL:      idleTTL,
-		MaxSessions:  maxSessions,
-		Obs:          obs.Default(),
-		Logger:       logger,
-		Tracer:       tracer,
+		Registry:         reg,
+		DefaultAlpha:     opts.alpha,
+		RefitWindow:      opts.refitWindow,
+		IdleTTL:          opts.idleTTL,
+		MaxSessions:      opts.maxSessions,
+		Obs:              obs.Default(),
+		Logger:           logger,
+		Tracer:           tracer,
+		QualityWindow:    opts.qualityWindow,
+		QualityExemplars: opts.qualityExemplars,
+		QualityThresholds: quality.Thresholds{
+			WarnMAPEPct:  opts.warnMAPE,
+			AlertMAPEPct: opts.alertMAPE,
+		},
+		DisableQuality: opts.noQuality,
 	})
 	defer srv.Close()
 

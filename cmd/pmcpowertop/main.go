@@ -1,0 +1,158 @@
+// Command pmcpowertop is a polling console dashboard over a running
+// pmcpowerd: it fetches GET /v1/status and renders the served models'
+// quality (drift state, windowed MAPE, signed bias, error quantiles,
+// exemplar counts) as a plain text table, top-style.
+//
+// Usage:
+//
+//	pmcpowertop [-addr http://127.0.0.1:9120] [-interval 2s]
+//	pmcpowertop -once                  # print one snapshot and exit
+//	pmcpowertop -once -validate        # also verify the /v1/status shape (CI)
+//
+// -validate decodes the status document with unknown fields
+// disallowed and checks the documented invariants; any violation is a
+// non-zero exit, which CI uses to pin the /v1/status contract against
+// a live daemon.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"time"
+
+	"pmcpower/internal/serve"
+)
+
+func main() {
+	addr := flag.String("addr", "http://127.0.0.1:9120", "pmcpowerd base URL")
+	interval := flag.Duration("interval", 2*time.Second, "poll interval")
+	once := flag.Bool("once", false, "print one snapshot and exit (for scripting)")
+	validate := flag.Bool("validate", false, "strictly validate the /v1/status document shape")
+	flag.Parse()
+
+	client := &http.Client{Timeout: 10 * time.Second}
+	for {
+		status, err := fetchStatus(client, *addr, *validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcpowertop:", err)
+			os.Exit(1)
+		}
+		if *validate {
+			if err := validateStatus(status); err != nil {
+				fmt.Fprintln(os.Stderr, "pmcpowertop: status validation:", err)
+				os.Exit(1)
+			}
+		}
+		if !*once {
+			// Clear screen and home the cursor between polls.
+			fmt.Print("\x1b[2J\x1b[H")
+		}
+		fmt.Print(render(status))
+		if *once {
+			return
+		}
+		time.Sleep(*interval)
+	}
+}
+
+// fetchStatus GETs /v1/status. With strict set, unknown fields in the
+// document are an error — the shape check CI relies on.
+func fetchStatus(client *http.Client, base string, strict bool) (serve.StatusResponse, error) {
+	var status serve.StatusResponse
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/v1/status")
+	if err != nil {
+		return status, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return status, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return status, fmt.Errorf("/v1/status returned %d: %s", resp.StatusCode, raw)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(&status); err != nil {
+		return status, fmt.Errorf("decoding /v1/status: %w", err)
+	}
+	return status, nil
+}
+
+// validateStatus checks the documented invariants of the status
+// document beyond mere decodability.
+func validateStatus(s serve.StatusResponse) error {
+	if s.Service != "pmcpowerd" {
+		return fmt.Errorf("service = %q, want pmcpowerd", s.Service)
+	}
+	if s.Version == "" {
+		return fmt.Errorf("version is empty")
+	}
+	if !strings.HasPrefix(s.GoVersion, "go") {
+		return fmt.Errorf("go_version = %q", s.GoVersion)
+	}
+	if s.UptimeS < 0 {
+		return fmt.Errorf("uptime_s = %v", s.UptimeS)
+	}
+	switch s.Health.Status {
+	case "ok", "warn", "alert", "unavailable":
+	default:
+		return fmt.Errorf("health.status = %q", s.Health.Status)
+	}
+	if s.Health.ServableModels != len(modelNames(s.Models)) {
+		return fmt.Errorf("servable_models = %d but %d model names listed",
+			s.Health.ServableModels, len(modelNames(s.Models)))
+	}
+	for _, q := range s.Quality {
+		switch q.State {
+		case "ok", "warn", "alert":
+		default:
+			return fmt.Errorf("quality[%s].state = %q", q.Model, q.State)
+		}
+		if q.WindowN < 0 || q.Exemplars < 0 {
+			return fmt.Errorf("quality[%s] has negative counts", q.Model)
+		}
+	}
+	return nil
+}
+
+func modelNames(models []serve.ModelInfo) map[string]bool {
+	names := make(map[string]bool)
+	for _, m := range models {
+		names[m.Name] = true
+	}
+	return names
+}
+
+// render formats one status snapshot as the dashboard text.
+func render(s serve.StatusResponse) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s %s (%s)  up %s  health: %s", s.Service, s.Version, s.GoVersion,
+		(time.Duration(s.UptimeS * float64(time.Second))).Round(time.Second), s.Health.Status)
+	if len(s.Health.AlertingModels) > 0 {
+		fmt.Fprintf(&sb, " [%s]", strings.Join(s.Health.AlertingModels, ", "))
+	}
+	sb.WriteByte('\n')
+	fmt.Fprintf(&sb, "models: %d   sessions: %d active, %d created, %d evicted\n\n",
+		s.Health.ServableModels, s.Sessions.Active, s.Sessions.Created, s.Sessions.Evicted)
+
+	fmt.Fprintf(&sb, "%-16s %-6s %6s %8s %9s %8s %8s %8s %9s %5s %6s %5s\n",
+		"MODEL", "STATE", "N", "MAPE%", "BIAS W", "P50 W", "P95 W", "P99 W", "LABELLED", "WARN", "ALERT", "EXMP")
+	if len(s.Quality) == 0 {
+		sb.WriteString("(no labelled samples yet — stream power_w-labelled samples to /v1/estimate)\n")
+	}
+	for _, q := range s.Quality {
+		fmt.Fprintf(&sb, "%-16s %-6s %6d %8.2f %+9.2f %8.2f %8.2f %8.2f %9d %5d %6d %5d\n",
+			q.Model, q.State, q.WindowN, q.WindowMAPEPct, q.WindowBiasW,
+			q.ErrP50W, q.ErrP95W, q.ErrP99W,
+			q.LabelledSamples, q.WarnTransitions, q.AlertTransitions, q.Exemplars)
+	}
+	return sb.String()
+}

@@ -121,6 +121,60 @@ func TestHistogramSnapshotAndQuantile(t *testing.T) {
 	}
 }
 
+// TestHistogramSnapshotQuantileEdges pins the HistogramSnapshot
+// corner cases the happy-path test above does not reach: an empty
+// snapshot, a single observation, the exact q=0 and q=1 endpoints,
+// and a distribution living entirely beyond the last finite bound.
+func TestHistogramSnapshotQuantileEdges(t *testing.T) {
+	// Empty snapshot: no quantile at any q.
+	empty := HistogramSnapshot{Bounds: []float64{1, 2}, Counts: []uint64{0, 0, 0}}
+	for _, q := range []float64{0, 0.5, 1} {
+		if v, ok := empty.Quantile(q); ok {
+			t.Errorf("empty snapshot Quantile(%v) = %v, ok", q, v)
+		}
+	}
+
+	// Single observation in the first bucket: every valid q lands in
+	// that bucket's range (0, 1].
+	reg := NewRegistry()
+	h := reg.Histogram("edge_seconds", "Edges.", []float64{1, 2, 4})
+	h.Observe(0.5)
+	for _, q := range []float64{0, 0.25, 0.5, 1} {
+		v, ok := h.Quantile(q)
+		if !ok || v < 0 || v > 1 {
+			t.Errorf("single-observation Quantile(%v) = %v, %v; want inside [0, 1]", q, v, ok)
+		}
+	}
+
+	// q=0 is the distribution floor, q=1 the ceiling: with the counts
+	// split across two buckets the endpoints must bracket the interior.
+	h.Observe(3) // (2, 4]
+	lo, ok1 := h.Quantile(0)
+	hi, ok2 := h.Quantile(1)
+	mid, ok3 := h.Quantile(0.5)
+	if !ok1 || !ok2 || !ok3 {
+		t.Fatalf("endpoint quantiles missing: %v %v %v", ok1, ok2, ok3)
+	}
+	if lo > mid || mid > hi {
+		t.Fatalf("quantiles not monotone: q0=%v q50=%v q100=%v", lo, mid, hi)
+	}
+	if hi > 4 {
+		t.Fatalf("q100 = %v beyond the covering bound 4", hi)
+	}
+
+	// Everything beyond the last finite bound: the true quantile is
+	// unknowable, so the estimate saturates at that bound.
+	over := reg.Histogram("over_seconds", "Overflow only.", []float64{1, 2})
+	over.Observe(100)
+	over.Observe(200)
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		v, ok := over.Quantile(q)
+		if !ok || v != 2 {
+			t.Errorf("overflow-only Quantile(%v) = %v, %v; want saturated at 2", q, v, ok)
+		}
+	}
+}
+
 func TestGaugeFunc(t *testing.T) {
 	reg := NewRegistry()
 	v := 7.0

@@ -1,0 +1,125 @@
+package quality
+
+// p2Estimator is the P² streaming quantile estimator of Jain &
+// Chlamtac (CACM 1985): five markers track the minimum, the target
+// quantile, the two surrounding intermediate quantiles, and the
+// maximum, adjusting marker heights with a piecewise-parabolic
+// prediction as observations arrive. It estimates any fixed quantile
+// of an unbounded stream in O(1) space and time with no allocations —
+// exactly what the per-sample labelled path needs, where storing the
+// stream (or even a histogram sized for unknown watt scales) is off
+// the table.
+type p2Estimator struct {
+	p    float64
+	n    int        // observations seen
+	q    [5]float64 // marker heights
+	pos  [5]float64 // actual marker positions, 1-based
+	want [5]float64 // desired marker positions
+	dn   [5]float64 // desired-position increments per observation
+}
+
+// init configures the estimator for quantile p in (0, 1).
+func (e *p2Estimator) init(p float64) {
+	e.p = p
+	e.n = 0
+	e.dn = [5]float64{0, p / 2, p, (1 + p) / 2, 1}
+}
+
+// observe folds one value into the estimate.
+func (e *p2Estimator) observe(x float64) {
+	if e.n < 5 {
+		// Bootstrap: insertion-sort the first five observations.
+		i := e.n
+		for i > 0 && e.q[i-1] > x {
+			e.q[i] = e.q[i-1]
+			i--
+		}
+		e.q[i] = x
+		e.n++
+		if e.n == 5 {
+			e.pos = [5]float64{1, 2, 3, 4, 5}
+			p := e.p
+			e.want = [5]float64{1, 1 + 2*p, 1 + 4*p, 3 + 2*p, 5}
+		}
+		return
+	}
+
+	// Find the cell k such that q[k] <= x < q[k+1], extending the
+	// extreme markers when x falls outside them.
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 3; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	e.n++
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.want[i] += e.dn[i]
+	}
+
+	// Adjust the three interior markers toward their desired
+	// positions, preferring the parabolic height prediction when it
+	// stays between the neighboring markers.
+	for i := 1; i <= 3; i++ {
+		d := e.want[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1
+			}
+			qp := e.parabolic(i, s)
+			if e.q[i-1] < qp && qp < e.q[i+1] {
+				e.q[i] = qp
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+// parabolic is the P² piecewise-parabolic height prediction for
+// moving marker i by one position in direction s (±1).
+func (e *p2Estimator) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+// linear is the fallback height prediction: interpolate toward the
+// neighbor in direction s.
+func (e *p2Estimator) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// value returns the current quantile estimate; ok is false before the
+// first observation. With fewer than five observations it returns the
+// exact sample quantile of what has been seen (nearest rank over the
+// sorted bootstrap buffer).
+func (e *p2Estimator) value() (float64, bool) {
+	switch {
+	case e.n == 0:
+		return 0, false
+	case e.n < 5:
+		// q[:n] is sorted by the bootstrap insertion sort.
+		rank := int(e.p * float64(e.n))
+		if rank > e.n-1 {
+			rank = e.n - 1
+		}
+		return e.q[rank], true
+	}
+	return e.q[2], true
+}

@@ -11,6 +11,7 @@ import (
 	"pmcpower/internal/core"
 	"pmcpower/internal/cpusim"
 	"pmcpower/internal/pmu"
+	"pmcpower/internal/quality"
 	"pmcpower/internal/rng"
 	"pmcpower/internal/serve"
 	"pmcpower/internal/stats"
@@ -47,6 +48,7 @@ func Builtin() []Scenario {
 		RefitDrift(),
 		SessionChurn(),
 		MalformedClientFlood(),
+		QualityDegradation(),
 	}
 }
 
@@ -936,6 +938,192 @@ func MalformedClientFlood() Scenario {
 				return nil
 			}},
 			{Name: "healthz", Check: func(ctx *Context) error { return healthErr(fx) }},
+		},
+		Cleanup: func(ctx *Context) {
+			if fx != nil {
+				fx.close()
+			}
+		},
+	}
+}
+
+// QualityDegradation drives the model-quality observatory end to end
+// over HTTP: a labelled stream that starts accurate and then drifts
+// +20% against a frozen model (refit disabled) must walk the drift
+// state machine ok→warn→alert, flip deep health to 503 while shallow
+// health stays green, report the windowed MAPE at /v1/status, and
+// leave the worst residuals at /debug/exemplars.
+func QualityDegradation() Scenario {
+	var fx *serveFixture
+	const (
+		window   = 64
+		nHealthy = 128
+		nDrift   = 300
+		drift    = 0.20
+	)
+	var timeNs uint64
+	const sessionQuery = "?model=m&session=quality-probe"
+
+	// stream sends labelled lines whose label is the model's own
+	// prediction scaled by labelOf(i) — drift injected at the label,
+	// exactly what a decalibrating RAPL reference looks like to a
+	// frozen model.
+	stream := func(ctx *Context, n int, labelOf func(i int) float64) error {
+		rows := ctx.Env.Rows
+		order := rng.New(7).Perm(len(rows))
+		var lines []string
+		for i := 0; i < n; i++ {
+			r := rows[order[i%len(rows)]]
+			timeNs += 1e6
+			pred := ctx.Env.Model.Predict(r)
+			lines = append(lines, rowLineLabeled(r, timeNs, pred*labelOf(i)))
+		}
+		res, err := streamLines(fx.ts, sessionQuery, lines)
+		if err != nil {
+			return err
+		}
+		if res.status != 200 || len(res.errors) != 0 {
+			return fmt.Errorf("stream: status %d, %d error lines", res.status, len(res.errors))
+		}
+		if len(res.estimates) != n {
+			return fmt.Errorf("stream: %d estimates for %d samples", len(res.estimates), n)
+		}
+		return nil
+	}
+
+	return Scenario{
+		Name:        "quality-degradation",
+		Description: "labelled stream drifts +20% against a frozen model; the quality tracker must escalate ok→warn→alert, flip deep health, and capture exemplars",
+		Steps: []Step{
+			{Name: "boot", Run: func(ctx *Context) error {
+				var err error
+				// Thresholds sized for the injected drift: a +20% label
+				// shift settles the windowed MAPE at 0.2/1.2 ≈ 16.7%, so
+				// alert must sit below that; the bias triggers are
+				// disabled to make the MAPE trigger the one under test.
+				fx, err = startServe(ctx.Env, serve.Config{
+					QualityWindow:    window,
+					QualityExemplars: 16,
+					QualityThresholds: quality.Thresholds{
+						WarnMAPEPct: 5, AlertMAPEPct: 12,
+						WarnBiasW: -1, AlertBiasW: -1,
+						MinSamples: 16,
+					},
+				})
+				return err
+			}},
+			{Name: "healthy-baseline", Run: func(ctx *Context) error {
+				// Labels equal the model's prediction: windowed MAPE 0.
+				if err := stream(ctx, nHealthy, func(int) float64 { return 1 }); err != nil {
+					return err
+				}
+				q, err := fx.modelQuality("m@1")
+				if err != nil {
+					return err
+				}
+				ctx.M.Add("baseline_mape_pct", q.WindowMAPEPct)
+				if q.State != "ok" {
+					return fmt.Errorf("baseline state %q, want ok", q.State)
+				}
+				if code, err := fx.deepHealth(); err != nil || code != 200 {
+					return fmt.Errorf("baseline deep health = %d (%v), want 200", code, err)
+				}
+				return nil
+			}},
+			{Name: "drift-ramp", Run: func(ctx *Context) error {
+				// The label walks from accurate to +20% over the ramp; the
+				// window MAPE crosses warn (5%) and then alert (12%).
+				return stream(ctx, nDrift, func(i int) float64 {
+					return 1 + drift*float64(i+1)/nDrift
+				})
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "drift-reaches-alert", Check: func(ctx *Context) error {
+				q, err := fx.modelQuality("m@1")
+				if err != nil {
+					return err
+				}
+				ctx.M.Add("final_mape_pct", q.WindowMAPEPct)
+				ctx.M.Add("warn_transitions", float64(q.WarnTransitions))
+				ctx.M.Add("alert_transitions", float64(q.AlertTransitions))
+				if q.State != "alert" {
+					return fmt.Errorf("final state %q, want alert (MAPE %.2f%%)", q.State, q.WindowMAPEPct)
+				}
+				if q.WindowMAPEPct < 12 {
+					return fmt.Errorf("final window MAPE %.2f%% below the 12%% alert bound", q.WindowMAPEPct)
+				}
+				if q.WarnTransitions < 1 || q.AlertTransitions < 1 {
+					return fmt.Errorf("transitions warn=%d alert=%d: state machine skipped a stage", q.WarnTransitions, q.AlertTransitions)
+				}
+				if q.LabelledSamples != nHealthy+nDrift {
+					return fmt.Errorf("labelled samples %d, want %d", q.LabelledSamples, nHealthy+nDrift)
+				}
+				return nil
+			}},
+			{Name: "status-reports-alert-health", Check: func(ctx *Context) error {
+				s, err := fx.status()
+				if err != nil {
+					return err
+				}
+				if s.Health.Status != "alert" {
+					return fmt.Errorf("status health %q, want alert", s.Health.Status)
+				}
+				if len(s.Health.AlertingModels) != 1 || s.Health.AlertingModels[0] != "m@1" {
+					return fmt.Errorf("alerting models %v, want [m@1]", s.Health.AlertingModels)
+				}
+				return nil
+			}},
+			{Name: "shallow-health-stays-green", Check: func(ctx *Context) error { return healthErr(fx) }},
+			{Name: "deep-health-drains", Check: func(ctx *Context) error {
+				code, err := fx.deepHealth()
+				if err != nil {
+					return err
+				}
+				if code != 503 {
+					return fmt.Errorf("deep health = %d under drift alert, want 503", code)
+				}
+				return nil
+			}},
+			{Name: "exemplars-capture-offenders", Check: func(ctx *Context) error {
+				ex, err := fx.exemplars()
+				if err != nil {
+					return err
+				}
+				if len(ex) != 16 {
+					return fmt.Errorf("%d exemplars captured, want 16", len(ex))
+				}
+				ctx.M.Add("worst_residual_w", ex[0].ResidualW)
+				for i, e := range ex {
+					if e.Model != "m@1" {
+						return fmt.Errorf("exemplar %d tagged %q, want m@1", i, e.Model)
+					}
+					// The drift drove truth above the frozen prediction, so
+					// every captured residual is an underestimation.
+					if e.ResidualW >= 0 {
+						return fmt.Errorf("exemplar %d residual %v, want negative", i, e.ResidualW)
+					}
+					if e.ModelVersion != 0 {
+						return fmt.Errorf("exemplar %d model version %d, want 0 (refit disabled)", i, e.ModelVersion)
+					}
+					if i > 0 && math.Abs(e.ResidualW) > math.Abs(ex[i-1].ResidualW) {
+						return fmt.Errorf("exemplars not sorted worst-first at %d", i)
+					}
+				}
+				return nil
+			}},
+			{Name: "zero-rejections", Check: func(ctx *Context) error {
+				if n := totalRejected(fx); n != 0 {
+					return fmt.Errorf("%d samples rejected", n)
+				}
+				return nil
+			}},
+			{Name: "zero-handler-panics", Check: func(ctx *Context) error {
+				if p := fx.plog.panics(); len(p) > 0 {
+					return fmt.Errorf("http server logged %d panics: %s", len(p), p[0])
+				}
+				return nil
+			}},
 		},
 		Cleanup: func(ctx *Context) {
 			if fx != nil {

@@ -128,6 +128,64 @@ func (f *serveFixture) healthy() bool {
 	return resp.StatusCode == http.StatusOK
 }
 
+// deepHealth probes /healthz?deep=1 and returns the HTTP status code.
+func (f *serveFixture) deepHealth() (int, error) {
+	resp, err := http.Get(f.ts.URL + "/healthz?deep=1")
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}
+
+// status fetches and decodes /v1/status.
+func (f *serveFixture) status() (serve.StatusResponse, error) {
+	var s serve.StatusResponse
+	resp, err := http.Get(f.ts.URL + "/v1/status")
+	if err != nil {
+		return s, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return s, fmt.Errorf("scenario: /v1/status returned %d", resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return s, fmt.Errorf("scenario: decoding /v1/status: %w", err)
+	}
+	return s, nil
+}
+
+// modelQuality extracts one model's quality block from /v1/status.
+func (f *serveFixture) modelQuality(model string) (serve.ModelQuality, error) {
+	s, err := f.status()
+	if err != nil {
+		return serve.ModelQuality{}, err
+	}
+	for _, q := range s.Quality {
+		if q.Model == model {
+			return q, nil
+		}
+	}
+	return serve.ModelQuality{}, fmt.Errorf("scenario: /v1/status has no quality entry for %q", model)
+}
+
+// exemplars fetches and decodes /debug/exemplars.
+func (f *serveFixture) exemplars() ([]serve.ExemplarEntry, error) {
+	resp, err := http.Get(f.ts.URL + "/debug/exemplars")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var out struct {
+		Exemplars []serve.ExemplarEntry `json:"exemplars"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("scenario: decoding /debug/exemplars: %w", err)
+	}
+	return out.Exemplars, nil
+}
+
 // --- wire formats (mirror serve's NDJSON contract) -------------------
 
 // wireSample is one /v1/estimate input line.

@@ -88,6 +88,39 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 // the /metrics handler).
 func (m *Metrics) Registry() *obs.Registry { return m.reg }
 
+// SetBuildInfo publishes the constant pmcpowerd_build_info gauge: the
+// value is always 1, the payload is the label set (service version and
+// Go runtime), following the Prometheus build-info convention.
+func (m *Metrics) SetBuildInfo(version, goVersion string) {
+	m.reg.Gauge("pmcpowerd_build_info",
+		"Build metadata; constant 1 with version labels.",
+		obs.Label{Key: "version", Value: version},
+		obs.Label{Key: "goversion", Value: goVersion}).Set(1)
+}
+
+// QualityState publishes the drift state for one served model version
+// as a numeric gauge (0 ok, 1 warn, 2 alert) so dashboards can alert
+// on `pmcpowerd_quality_state >= 2`.
+func (m *Metrics) QualityState(model string, state float64) {
+	m.reg.Gauge("pmcpowerd_quality_state",
+		"Model drift state by served model version (0 ok, 1 warn, 2 alert).",
+		obs.Label{Key: "model", Value: model}).Set(state)
+}
+
+// QualityTransition counts one drift state change for a model.
+func (m *Metrics) QualityTransition(model, to string) {
+	m.reg.Counter("pmcpowerd_quality_transitions_total",
+		"Drift state transitions by served model version and destination state.",
+		obs.Label{Key: "model", Value: model},
+		obs.Label{Key: "to", Value: to}).Inc()
+}
+
+// SessionsCreated returns the named-session creation count.
+func (m *Metrics) SessionsCreated() uint64 { return m.sessionsCreated.Value() }
+
+// Evictions returns the idle-eviction count.
+func (m *Metrics) Evictions() uint64 { return m.evictions.Value() }
+
 // Request counts one HTTP request to path.
 func (m *Metrics) Request(path string) {
 	m.totalRequests.Add(1)

@@ -17,7 +17,10 @@ import (
 // counters and gauges, with metric families and label sets in
 // canonical sorted order — byte-for-byte identical across renders.
 func TestMetricsExpositionByteStable(t *testing.T) {
-	s, ts := newTestServer(t, Config{})
+	// Pin the clock: the uptime gauge samples Now at render time, and
+	// byte-stability is a fixed-values property.
+	frozen := time.Unix(1_700_000_000, 0)
+	s, ts := newTestServer(t, Config{Now: func() time.Time { return frozen }})
 
 	for _, path := range []string{"/healthz", "/v1/models", "/healthz"} {
 		resp, err := http.Get(ts.URL + path)

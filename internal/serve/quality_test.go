@@ -1,0 +1,398 @@
+package serve
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/core"
+	"pmcpower/internal/quality"
+)
+
+// labeledLine renders row r with a measured-power label.
+func labeledLine(t *testing.T, r *acquisition.Row, timeNs uint64, powerW float64) string {
+	t.Helper()
+	line := sampleLine(t, r, timeNs)
+	var ws wireSample
+	if err := json.Unmarshal([]byte(line), &ws); err != nil {
+		t.Fatal(err)
+	}
+	ws.PowerW = &powerW
+	b, err := json.Marshal(ws)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// getJSON fetches url and decodes the body into out, returning the
+// status code.
+func getJSON(t *testing.T, url string, out any) int {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s: %v", url, err)
+		}
+	} else {
+		io.Copy(io.Discard, resp.Body)
+	}
+	return resp.StatusCode
+}
+
+// qualityTestThresholds trip on a +30% label drift: APE settles at
+// 0.3/1.3 ≈ 23%, comfortably past alert at 12%.
+var qualityTestThresholds = quality.Thresholds{
+	WarnMAPEPct: 5, AlertMAPEPct: 12,
+	WarnBiasW: -1, AlertBiasW: -1, // isolate the MAPE trigger
+	MinSamples: 8,
+}
+
+// TestQualityDriftEndToEnd drives the whole observability surface over
+// HTTP: an accurate labelled stream holds the model at ok, a ramped
+// +30% label drift walks it through warn into alert, /v1/status
+// reports the degradation, shallow health stays green while deep
+// health flips 503, and /debug/exemplars holds the worst residuals.
+func TestQualityDriftEndToEnd(t *testing.T) {
+	m, rows := fixture(t)
+	s, ts := newTestServer(t, Config{
+		QualityWindow:     32,
+		QualityExemplars:  8,
+		QualityThresholds: qualityTestThresholds,
+	})
+
+	r := rows[0]
+	predicted := m.Predict(r)
+
+	// Healthy phase: labels equal the model's own prediction, so the
+	// windowed MAPE is exactly zero.
+	var lines []string
+	timeNs := uint64(0)
+	for i := 0; i < 48; i++ {
+		timeNs += 1e6
+		lines = append(lines, labeledLine(t, r, timeNs, predicted))
+	}
+	if st, _, errs := streamEstimates(t, ts, "?model=m&session=q1", lines); st != http.StatusOK || len(errs) != 0 {
+		t.Fatalf("healthy stream: status %d, %d error lines", st, len(errs))
+	}
+
+	var status StatusResponse
+	if code := getJSON(t, ts.URL+"/v1/status", &status); code != http.StatusOK {
+		t.Fatalf("/v1/status = %d", code)
+	}
+	if len(status.Quality) != 1 || status.Quality[0].Model != "m@1" {
+		t.Fatalf("quality block = %+v", status.Quality)
+	}
+	if q := status.Quality[0]; q.State != "ok" || q.WindowMAPEPct > 0.01 || q.LabelledSamples != 48 {
+		t.Fatalf("healthy quality = %+v", q)
+	}
+	if status.Health.Status != "ok" {
+		t.Fatalf("healthy status = %q", status.Health.Status)
+	}
+	if code := getJSON(t, ts.URL+"/healthz?deep=1", nil); code != http.StatusOK {
+		t.Fatalf("healthy deep health = %d", code)
+	}
+
+	// Drift phase: the label walks away from the prediction, up to
+	// +30%. The tracker's window MAPE crosses warn (5%) and then alert
+	// (12%) as the ramp progresses.
+	lines = lines[:0]
+	const driftSamples = 120
+	for i := 0; i < driftSamples; i++ {
+		timeNs += 1e6
+		f := 0.30 * float64(i+1) / driftSamples
+		lines = append(lines, labeledLine(t, r, timeNs, predicted*(1+f)))
+	}
+	if st, _, errs := streamEstimates(t, ts, "?model=m&session=q1", lines); st != http.StatusOK || len(errs) != 0 {
+		t.Fatalf("drift stream: status %d, %d error lines", st, len(errs))
+	}
+
+	if code := getJSON(t, ts.URL+"/v1/status", &status); code != http.StatusOK {
+		t.Fatalf("/v1/status = %d", code)
+	}
+	q := status.Quality[0]
+	if q.State != "alert" {
+		t.Fatalf("post-drift state = %q (%+v)", q.State, q)
+	}
+	if q.WindowMAPEPct < 12 {
+		t.Errorf("post-drift window MAPE = %v%%, want >= 12", q.WindowMAPEPct)
+	}
+	if q.WarnTransitions < 1 || q.AlertTransitions < 1 {
+		t.Errorf("transitions warn=%d alert=%d, want >= 1 each", q.WarnTransitions, q.AlertTransitions)
+	}
+	if q.LabelledSamples != 48+driftSamples {
+		t.Errorf("labelled samples = %d, want %d", q.LabelledSamples, 48+driftSamples)
+	}
+	if q.ErrP99W <= 0 || q.ErrP50W > q.ErrP99W {
+		t.Errorf("error quantiles p50=%v p99=%v", q.ErrP50W, q.ErrP99W)
+	}
+	if status.Health.Status != "alert" || len(status.Health.AlertingModels) != 1 || status.Health.AlertingModels[0] != "m@1" {
+		t.Errorf("health block = %+v", status.Health)
+	}
+
+	// Shallow health keeps passing — the daemon can still serve — but
+	// deep health drains the node.
+	if code := getJSON(t, ts.URL+"/healthz", nil); code != http.StatusOK {
+		t.Errorf("shallow health = %d, want 200", code)
+	}
+	resp, err := http.Get(ts.URL + "/healthz?deep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("deep health = %d, want 503", resp.StatusCode)
+	}
+	if !strings.Contains(string(body), "m@1") {
+		t.Errorf("deep health body %q does not name the alerting model", body)
+	}
+
+	// Exemplars: the worst residuals were captured, worst first, with
+	// the full sample context. The drift labels sit above the
+	// prediction, so residuals are negative (underestimation).
+	var ex exemplarsResponse
+	if code := getJSON(t, ts.URL+"/debug/exemplars", &ex); code != http.StatusOK {
+		t.Fatalf("/debug/exemplars = %d", code)
+	}
+	if len(ex.Exemplars) != 8 {
+		t.Fatalf("exemplar count = %d, want 8", len(ex.Exemplars))
+	}
+	worst := ex.Exemplars[0]
+	if worst.Model != "m@1" || worst.Session != "q1" {
+		t.Errorf("worst exemplar context = %+v", worst)
+	}
+	if worst.ResidualW >= 0 {
+		t.Errorf("drift residual = %v, want negative (underestimation)", worst.ResidualW)
+	}
+	if len(worst.Rates) == 0 {
+		t.Errorf("exemplar carries no rates")
+	}
+	for i := 1; i < len(ex.Exemplars); i++ {
+		if abs(ex.Exemplars[i].ResidualW) > abs(ex.Exemplars[i-1].ResidualW) {
+			t.Errorf("exemplars not sorted worst-first at %d", i)
+		}
+	}
+
+	// The per-session tracker followed the same stream.
+	ss, ok := s.SessionQuality("m", "q1")
+	if !ok {
+		t.Fatal("SessionQuality(m, q1) not found")
+	}
+	if ss.Total != 48+driftSamples || ss.MAPEPct < 12 {
+		t.Errorf("session quality = %+v", ss)
+	}
+
+	// Metrics: the state gauge and transition counters are published.
+	rendered := s.Metrics().Render()
+	for _, want := range []string{
+		`pmcpowerd_quality_state{model="m@1"} 2`,
+		`pmcpowerd_quality_transitions_total{model="m@1",to="warn"} 1`,
+		`pmcpowerd_quality_transitions_total{model="m@1",to="alert"} 1`,
+		`pmcpowerd_build_info{goversion="go`,
+		"pmcpowerd_uptime_seconds",
+	} {
+		if !strings.Contains(rendered, want) {
+			t.Errorf("/metrics lacks %q", want)
+		}
+	}
+}
+
+func abs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// TestHealthReadiness pins the readiness semantics: a daemon with no
+// models is not ready (503), one with a model is.
+func TestHealthReadiness(t *testing.T) {
+	s := New(Config{Registry: NewRegistry()})
+	defer s.Close()
+	req := httptest.NewRequest(http.MethodGet, "/healthz", nil)
+	rec := httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if rec.Code != http.StatusServiceUnavailable {
+		t.Fatalf("empty-registry /healthz = %d, want 503", rec.Code)
+	}
+
+	var status StatusResponse
+	req = httptest.NewRequest(http.MethodGet, "/v1/status", nil)
+	rec = httptest.NewRecorder()
+	s.Handler().ServeHTTP(rec, req)
+	if err := json.Unmarshal(rec.Body.Bytes(), &status); err != nil {
+		t.Fatal(err)
+	}
+	if status.Health.Status != "unavailable" || status.Health.ServableModels != 0 {
+		t.Fatalf("empty-registry health = %+v", status.Health)
+	}
+
+	// With a model registered the same probes pass.
+	_, ts := newTestServer(t, Config{})
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), "ok") {
+		t.Fatalf("/healthz = %d %q", resp.StatusCode, body)
+	}
+}
+
+// TestQualityDisabledBitIdentical pins the pure-observer contract:
+// the NDJSON estimate stream is byte-for-byte identical with quality
+// tracking on and off, including on a refitting session.
+func TestQualityDisabledBitIdentical(t *testing.T) {
+	_, rows := fixture(t)
+	var lines []string
+	for i, r := range rows {
+		// Slightly perturbed labels exercise the refit path.
+		lines = append(lines, labeledLine(t, r, uint64(i+1)*1e6, r.PowerW*1.02))
+	}
+	body := strings.Join(lines, "\n") + "\n"
+
+	run := func(disable bool) string {
+		_, ts := newTestServer(t, Config{DisableQuality: disable})
+		resp, err := http.Post(ts.URL+"/v1/estimate?model=m&refit=32&session=bit", "application/x-ndjson",
+			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("stream (disable=%v) = %d: %s", disable, resp.StatusCode, raw)
+		}
+		return string(raw)
+	}
+	withQuality := run(false)
+	withoutQuality := run(true)
+	if withQuality != withoutQuality {
+		t.Fatalf("estimate stream differs with quality tracking on vs off:\n--- on ---\n%s--- off ---\n%s",
+			withQuality, withoutQuality)
+	}
+	if !strings.Contains(withQuality, `"instant_w"`) {
+		t.Fatalf("stream carries no estimates: %s", withQuality)
+	}
+}
+
+// TestStatusSchema decodes /v1/status through a strict decoder against
+// the documented shape — the same validation pmcpowertop -validate and
+// the CI curl step run against a live daemon.
+func TestStatusSchema(t *testing.T) {
+	frozen := time.Unix(1_700_000_000, 0)
+	clock := frozen
+	_, ts := newTestServer(t, Config{Now: func() time.Time { return clock }})
+	resp, err := http.Get(ts.URL + "/v1/status")
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var status StatusResponse
+	if err := dec.Decode(&status); err != nil {
+		t.Fatalf("status does not match the documented shape: %v\n%s", err, raw)
+	}
+	if status.Service != "pmcpowerd" || status.Version == "" || !strings.HasPrefix(status.GoVersion, "go") {
+		t.Fatalf("identity block = %+v", status)
+	}
+	if status.UptimeS != 0 {
+		t.Fatalf("uptime with a frozen clock = %v, want 0", status.UptimeS)
+	}
+	if len(status.Models) != 1 || status.Models[0].Name != "m" || !status.Models[0].Latest {
+		t.Fatalf("models block = %+v", status.Models)
+	}
+	if status.Health.ServableModels != 1 || status.Health.Status != "ok" {
+		t.Fatalf("health block = %+v", status.Health)
+	}
+}
+
+// TestQualityPathAllocs is the acceptance gate at the serving layer:
+// quality tracking adds zero allocations per labelled sample on the
+// warmed steady-state path (session push + model monitor + session
+// tracker).
+func TestQualityPathAllocs(t *testing.T) {
+	m, rows := fixture(t)
+	r := rows[0]
+	label := m.Predict(r) * 1.01
+
+	mkStream := func() *core.StreamSession {
+		st, err := core.NewStreamSessionRefit(m, 1, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	// Two identical streams so the baseline and the instrumented run
+	// advance through the same internal states.
+	base := mkStream()
+	instr := mkStream()
+	qmon := quality.NewMonitor(quality.Config{Window: 64, Exemplars: 8})
+	qtrack := quality.NewTracker(64)
+
+	cs := counterSample(r, 0)
+	var baseNs, instrNs uint64
+	warm := func(st *core.StreamSession, ns *uint64, withQ bool) {
+		for i := 0; i < 200; i++ {
+			*ns += 1e6
+			cs.TimeNs = *ns
+			est, err := st.PushLabeled(cs, label)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if withQ {
+				qmon.Observe(quality.Observation{
+					TimeNs: cs.TimeNs, FreqMHz: cs.FreqMHz, VoltageV: cs.VoltageV,
+					Rates: cs.Rates, ModelVersion: est.ModelVersion,
+					PredictedW: est.InstantW, ObservedW: label,
+				})
+				qtrack.Observe(est.InstantW, label)
+			}
+		}
+	}
+	warm(base, &baseNs, false)
+	warm(instr, &instrNs, true)
+
+	baseline := testing.AllocsPerRun(500, func() {
+		baseNs += 1e6
+		cs.TimeNs = baseNs
+		if _, err := base.PushLabeled(cs, label); err != nil {
+			t.Fatal(err)
+		}
+	})
+	instrumented := testing.AllocsPerRun(500, func() {
+		instrNs += 1e6
+		cs.TimeNs = instrNs
+		est, err := instr.PushLabeled(cs, label)
+		if err != nil {
+			t.Fatal(err)
+		}
+		qmon.Observe(quality.Observation{
+			TimeNs: cs.TimeNs, FreqMHz: cs.FreqMHz, VoltageV: cs.VoltageV,
+			Rates: cs.Rates, ModelVersion: est.ModelVersion,
+			PredictedW: est.InstantW, ObservedW: label,
+		})
+		qtrack.Observe(est.InstantW, label)
+	})
+	if instrumented > baseline {
+		t.Fatalf("quality tracking adds %.2f allocs/op (baseline %.2f, instrumented %.2f), want 0",
+			instrumented-baseline, baseline, instrumented)
+	}
+}

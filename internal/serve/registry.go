@@ -78,10 +78,33 @@ func (r *Registry) LoadFile(path string) (name string, version int, err error) {
 	return name, version, err
 }
 
+// ModelRef is a fully resolved registry entry: the canonical name,
+// the concrete version the lookup landed on, and the model itself.
+// The serving layer keys per-model-version quality aggregation on
+// Key(), so a session pinned to name@2 and one following "latest"
+// that resolves to the same version share one quality stream.
+type ModelRef struct {
+	Name    string
+	Version int
+	Model   *core.Model
+}
+
+// Key renders the canonical "name@version" registry key.
+func (r ModelRef) Key() string { return r.Name + "@" + strconv.Itoa(r.Version) }
+
 // Get resolves key — "name" for the latest version or "name@N" for a
 // pinned one. The empty key resolves only when exactly one model name
 // is registered (the unambiguous default).
 func (r *Registry) Get(key string) (*core.Model, error) {
+	ref, err := r.Resolve(key)
+	if err != nil {
+		return nil, err
+	}
+	return ref.Model, nil
+}
+
+// Resolve is Get with the resolved name and concrete version attached.
+func (r *Registry) Resolve(key string) (ModelRef, error) {
 	r.mu.RLock()
 	defer r.mu.RUnlock()
 	name, version := key, 0
@@ -89,13 +112,13 @@ func (r *Registry) Get(key string) (*core.Model, error) {
 		name = key[:i]
 		v, err := strconv.Atoi(key[i+1:])
 		if err != nil || v <= 0 {
-			return nil, fmt.Errorf("serve: bad model version in %q", key)
+			return ModelRef{}, fmt.Errorf("serve: bad model version in %q", key)
 		}
 		version = v
 	}
 	if name == "" {
 		if len(r.models) != 1 {
-			return nil, fmt.Errorf("serve: model parameter required (%d models registered)", len(r.models))
+			return ModelRef{}, fmt.Errorf("serve: model parameter required (%d models registered)", len(r.models))
 		}
 		for n := range r.models {
 			name = n
@@ -103,15 +126,22 @@ func (r *Registry) Get(key string) (*core.Model, error) {
 	}
 	versions, ok := r.models[name]
 	if !ok {
-		return nil, fmt.Errorf("serve: unknown model %q", name)
+		return ModelRef{}, fmt.Errorf("serve: unknown model %q", name)
 	}
 	if version == 0 {
-		return versions[len(versions)-1], nil
+		version = len(versions)
+	} else if version > len(versions) {
+		return ModelRef{}, fmt.Errorf("serve: model %q has no version %d (latest %d)", name, version, len(versions))
 	}
-	if version > len(versions) {
-		return nil, fmt.Errorf("serve: model %q has no version %d (latest %d)", name, version, len(versions))
-	}
-	return versions[version-1], nil
+	return ModelRef{Name: name, Version: version, Model: versions[version-1]}, nil
+}
+
+// Count returns the number of registered model names — the shallow
+// readiness signal (a server with zero models can serve nothing).
+func (r *Registry) Count() int {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	return len(r.models)
 }
 
 // List reports every registered model version, sorted by name then

@@ -10,7 +10,10 @@ import (
 	"log/slog"
 	"math"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -18,6 +21,7 @@ import (
 	"pmcpower/internal/core"
 	"pmcpower/internal/obs"
 	"pmcpower/internal/pmu"
+	"pmcpower/internal/quality"
 )
 
 // Config tunes a Server. The zero value is usable: every field has a
@@ -63,6 +67,22 @@ type Config struct {
 	// span context is threaded into the handler. pmcpowerd exposes
 	// the dump at /debug/trace on its private debug listener.
 	Tracer *obs.Tracer
+	// QualityWindow is the sliding-window size (in labelled samples)
+	// for model-quality tracking, both per served model version and
+	// per session. Default 256.
+	QualityWindow int
+	// QualityExemplars is the per-model worst-residual buffer
+	// capacity served at /debug/exemplars. Default 32.
+	QualityExemplars int
+	// QualityThresholds configures the drift state machine (zero
+	// fields take the quality package defaults).
+	QualityThresholds quality.Thresholds
+	// DisableQuality turns model-quality tracking off entirely:
+	// labelled samples skip the quality path, /v1/status carries no
+	// quality block, and deep health degenerates to shallow health.
+	// Estimates are bit-identical either way — quality is a pure
+	// observer.
+	DisableQuality bool
 }
 
 func (c Config) withDefaults() Config {
@@ -96,6 +116,12 @@ func (c Config) withDefaults() Config {
 	if c.Now == nil {
 		c.Now = time.Now
 	}
+	if c.QualityWindow <= 0 {
+		c.QualityWindow = 256
+	}
+	if c.QualityExemplars <= 0 {
+		c.QualityExemplars = 32
+	}
 	return c
 }
 
@@ -107,7 +133,12 @@ type Server struct {
 	reg      *Registry
 	metrics  *Metrics
 	sessions *sessionManager
+	quality  *qualityHub // nil when cfg.DisableQuality
 	mux      *http.ServeMux
+
+	start     time.Time
+	version   string
+	goVersion string
 
 	stop     chan struct{}
 	stopOnce sync.Once
@@ -119,26 +150,50 @@ type Server struct {
 func New(cfg Config) *Server {
 	cfg = cfg.withDefaults()
 	s := &Server{
-		cfg:     cfg,
-		reg:     cfg.Registry,
-		metrics: NewMetrics(cfg.Obs),
-		stop:    make(chan struct{}),
+		cfg:       cfg,
+		reg:       cfg.Registry,
+		metrics:   NewMetrics(cfg.Obs),
+		start:     cfg.Now(),
+		version:   buildVersion(),
+		goVersion: runtime.Version(),
+		stop:      make(chan struct{}),
 	}
-	s.sessions = newSessionManager(cfg.MaxSessions, cfg.IdleTTL, cfg.Now, s.metrics)
+	qualityWindow := cfg.QualityWindow
+	if cfg.DisableQuality {
+		qualityWindow = 0
+	} else {
+		s.quality = newQualityHub(cfg, s.metrics, cfg.Logger)
+	}
+	s.sessions = newSessionManager(cfg.MaxSessions, cfg.IdleTTL, cfg.Now, s.metrics, qualityWindow)
+	s.metrics.SetBuildInfo(s.version, s.goVersion)
 	// Gauges owned by other components, sampled at render time.
 	cfg.Obs.GaugeFunc("pmcpowerd_sessions_active",
 		"Live estimator sessions.", func() float64 { return float64(s.sessions.count()) })
 	cfg.Obs.GaugeFunc("pmcpowerd_models",
 		"Models registered for serving.", func() float64 { return float64(len(s.reg.List())) })
+	cfg.Obs.GaugeFunc("pmcpowerd_uptime_seconds",
+		"Seconds since the server was constructed.",
+		func() float64 { return s.cfg.Now().Sub(s.start).Seconds() })
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.handleHealth)
 	s.mux.HandleFunc("/v1/models", s.handleModels)
 	s.mux.HandleFunc("/v1/predict", s.handlePredict)
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
+	s.mux.HandleFunc("/v1/status", s.handleStatus)
+	s.mux.HandleFunc("/debug/exemplars", s.handleExemplars)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.janitor.Add(1)
 	go s.runJanitor()
 	return s
+}
+
+// buildVersion reports the main module's version from the embedded
+// build info ("dev" for an unstamped build, e.g. `go test`).
+func buildVersion() string {
+	if bi, ok := debug.ReadBuildInfo(); ok && bi.Main.Version != "" && bi.Main.Version != "(devel)" {
+		return bi.Main.Version
+	}
+	return "dev"
 }
 
 // Handler returns the root handler for an http.Server: the service
@@ -213,6 +268,14 @@ func (s *Server) Metrics() *Metrics { return s.metrics }
 
 // ActiveSessions returns the number of live estimator sessions.
 func (s *Server) ActiveSessions() int { return s.sessions.count() }
+
+// SessionQuality returns the residual-window snapshot of one named
+// session (the model key as passed by the client, plus the session
+// id). ok is false when the session does not exist or quality
+// tracking is disabled.
+func (s *Server) SessionQuality(model, id string) (quality.WindowSnapshot, bool) {
+	return s.sessions.qualitySnapshot(sessionKey{model: model, id: id})
+}
 
 // SweepIdleSessions runs one eviction pass at the server's current
 // clock and returns the number of sessions evicted. The janitor calls
@@ -301,9 +364,27 @@ type predictResponse struct {
 
 // --- handlers --------------------------------------------------------
 
+// handleHealth is the readiness probe. The shallow check asks "can
+// this daemon serve anything" — it fails (503) only when no model is
+// registered. ?deep=1 additionally asks "is what it serves still
+// accurate" and fails while any served model is in drift alert, so a
+// load balancer can drain a node whose calibration has gone stale
+// while a plain liveness probe keeps passing.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("/healthz")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.reg.Count() == 0 {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		fmt.Fprintln(w, "unavailable: no models registered")
+		return
+	}
+	if r.URL.Query().Get("deep") == "1" && s.quality != nil {
+		if alerting := s.quality.alerting(); len(alerting) > 0 {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintf(w, "alert: model quality degraded: %s\n", strings.Join(alerting, ", "))
+			return
+		}
+	}
 	fmt.Fprintln(w, "ok")
 }
 
@@ -363,11 +444,12 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	q := r.URL.Query()
-	m, err := s.reg.Get(q.Get("model"))
+	ref, err := s.reg.Resolve(q.Get("model"))
 	if err != nil {
 		writeError(w, http.StatusNotFound, ReasonParse, err)
 		return
 	}
+	m := ref.Model
 	alpha := s.cfg.DefaultAlpha
 	if a := q.Get("alpha"); a != "" {
 		alpha, err = strconv.ParseFloat(a, 64)
@@ -399,8 +481,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// eviction and the one-stream backpressure limit); an anonymous
 	// stream gets a private estimator that dies with the request.
 	var stream *core.StreamSession
-	if id := q.Get("session"); id != "" {
-		key := sessionKey{model: q.Get("model"), id: id}
+	var qtrack *quality.Tracker // per-session residual window (named sessions)
+	sessionID := q.Get("session")
+	if sessionID != "" {
+		key := sessionKey{model: q.Get("model"), id: sessionID}
 		sess, herr := s.sessions.acquire(key, m, alpha, refitWindow)
 		if herr != nil {
 			writeError(w, herr.status, herr.reason, herr.err)
@@ -408,12 +492,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		}
 		defer s.sessions.release(key)
 		stream = sess.stream
+		qtrack = sess.quality
 	} else {
 		stream, err = core.NewStreamSessionRefit(m, alpha, refitWindow)
 		if err != nil {
 			writeError(w, http.StatusBadRequest, ReasonParse, err)
 			return
 		}
+	}
+	// Quality tracking observes every labelled sample prequentially
+	// (the estimate is computed before the label is folded into any
+	// refit), aggregated per served model version. It is a pure
+	// observer: the estimate stream is bit-identical with it disabled.
+	var qmon *quality.Monitor
+	if s.quality != nil {
+		qmon = s.quality.monitor(ref.Key())
 	}
 
 	// NDJSON estimation reads the request body and writes the response
@@ -460,6 +553,23 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			}
 			if perr == nil {
 				s.metrics.Estimate(time.Since(start))
+				if powerW != nil {
+					if qmon != nil {
+						qmon.Observe(quality.Observation{
+							TimeNs:       cs.TimeNs,
+							Session:      sessionID,
+							ModelVersion: est.ModelVersion,
+							FreqMHz:      cs.FreqMHz,
+							VoltageV:     cs.VoltageV,
+							Rates:        cs.Rates,
+							PredictedW:   est.InstantW,
+							ObservedW:    *powerW,
+						})
+					}
+					if qtrack != nil {
+						qtrack.Observe(est.InstantW, *powerW)
+					}
+				}
 				if labelled {
 					s.metrics.RefitSample(math.Abs(est.InstantW - *powerW))
 					if v := stream.ModelVersion(); v > lastVersion {

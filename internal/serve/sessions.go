@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"pmcpower/internal/core"
+	"pmcpower/internal/quality"
 )
 
 // httpError pairs an error with the HTTP status and metrics reason it
@@ -41,6 +42,10 @@ type session struct {
 	// cannot interleave one EWMA timeline.
 	busy    bool
 	lastUse time.Time
+	// quality tracks this session's own prequential residual window
+	// (nil when quality tracking is disabled). The Tracker has its own
+	// lock; the handler feeds it outside the manager's.
+	quality *quality.Tracker
 }
 
 // sessionManager owns the session table: get-or-create with a global
@@ -53,15 +58,19 @@ type sessionManager struct {
 	ttl      time.Duration
 	now      func() time.Time
 	metrics  *Metrics
+	// qualityWindow sizes the per-session residual tracker attached to
+	// each new session; 0 disables per-session tracking.
+	qualityWindow int
 }
 
-func newSessionManager(max int, ttl time.Duration, now func() time.Time, m *Metrics) *sessionManager {
+func newSessionManager(max int, ttl time.Duration, now func() time.Time, m *Metrics, qualityWindow int) *sessionManager {
 	return &sessionManager{
-		sessions: make(map[sessionKey]*session),
-		max:      max,
-		ttl:      ttl,
-		now:      now,
-		metrics:  m,
+		sessions:      make(map[sessionKey]*session),
+		max:           max,
+		ttl:           ttl,
+		now:           now,
+		metrics:       m,
+		qualityWindow: qualityWindow,
 	}
 }
 
@@ -86,6 +95,9 @@ func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64, 
 			return nil, &httpError{status: http.StatusBadRequest, reason: ReasonParse, err: err}
 		}
 		s = &session{stream: stream, alpha: alpha, refitWindow: refitWindow}
+		if sm.qualityWindow > 0 {
+			s.quality = quality.NewTracker(sm.qualityWindow)
+		}
 		sm.sessions[key] = s
 		sm.metrics.SessionCreated()
 	} else {
@@ -152,4 +164,16 @@ func (sm *sessionManager) count() int {
 	sm.mu.Lock()
 	defer sm.mu.Unlock()
 	return len(sm.sessions)
+}
+
+// qualitySnapshot returns the session's own residual-window snapshot.
+// ok is false when the session does not exist or tracking is disabled.
+func (sm *sessionManager) qualitySnapshot(key sessionKey) (quality.WindowSnapshot, bool) {
+	sm.mu.Lock()
+	s, exists := sm.sessions[key]
+	sm.mu.Unlock()
+	if !exists || s.quality == nil {
+		return quality.WindowSnapshot{}, false
+	}
+	return s.quality.Snapshot(), true
 }
