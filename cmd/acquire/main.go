@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/cpusim"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/workloads"
@@ -27,7 +28,12 @@ func main() {
 	wlFlag := flag.String("workloads", "", "comma-separated workload names (default: all active)")
 	evFlag := flag.String("events", "", "comma-separated PAPI event names (default: all 54 presets)")
 	out := flag.String("o", "", "output file (default: stdout)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("acquire"))
+		return
+	}
 
 	if err := run(*seed, *freqsFlag, *wlFlag, *evFlag, *out); err != nil {
 		fmt.Fprintln(os.Stderr, "acquire:", err)

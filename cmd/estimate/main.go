@@ -22,6 +22,7 @@ import (
 	"strconv"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/core"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/stats"
@@ -32,7 +33,12 @@ func main() {
 	train := flag.String("train", "", "calibrate a model on the simulated platform and write it to this path")
 	modelPath := flag.String("model", "", "trained model JSON to load")
 	seed := flag.Uint64("seed", 42, "calibration seed for -train")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("estimate"))
+		return
+	}
 
 	if err := run(*train, *modelPath, *seed, flag.Args()); err != nil {
 		fmt.Fprintln(os.Stderr, "estimate:", err)

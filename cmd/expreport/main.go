@@ -28,6 +28,7 @@ import (
 	"os"
 	"strings"
 
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/experiments"
 	"pmcpower/internal/obs"
 )
@@ -38,7 +39,12 @@ func main() {
 	par := flag.Int("j", 0, "worker parallelism (0 = all cores, 1 = serial)")
 	tracePath := flag.String("trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
 	logLevel := flag.String("log-level", "warn", "log level for progress records: debug, info, warn, error")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("expreport"))
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {

@@ -16,6 +16,8 @@
 //	POST /v1/predict            batch prediction over JSON rows
 //	POST /v1/estimate           streaming NDJSON estimation
 //	GET  /debug/exemplars       worst-residual labelled samples per model
+//	GET  /debug/requests        in-flight + recent requests with trace IDs and stage timings
+//	GET  /debug/flightrec       retained traces as a Chrome trace_event document
 //	GET  /metrics               Prometheus text metrics (shared obs registry)
 //
 // /v1/estimate reads one JSON counter sample per line and writes one
@@ -30,6 +32,14 @@
 // serves net/http/pprof under /debug/pprof/, the request-span dump as
 // Chrome trace JSON under /debug/trace, and the metrics exposition
 // under /debug/metrics — profiling never shares the public port.
+//
+// Request tracing: every request carries a W3C trace context (adopted
+// from an inbound `traceparent` header or minted) that appears in the
+// Traceparent response header, log records, NDJSON rows, and quality
+// events. A tail-sampled flight recorder retains full traces for
+// slow, errored, or quality-flagged requests; SIGQUIT and drift-alert
+// transitions dump them as a Chrome-trace file (-flightrec-dump,
+// inspectable with tracecheck or chrome://tracing).
 package main
 
 import (
@@ -45,6 +55,7 @@ import (
 	"time"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/core"
 	"pmcpower/internal/obs"
 	"pmcpower/internal/pmu"
@@ -71,7 +82,16 @@ func main() {
 	warnMAPE := flag.Float64("quality-warn-mape", 10, "windowed MAPE %% that moves a model to drift warn (negative disables)")
 	alertMAPE := flag.Float64("quality-alert-mape", 20, "windowed MAPE %% that moves a model to drift alert (negative disables)")
 	noQuality := flag.Bool("no-quality", false, "disable model-quality tracking entirely")
+	flightRecDump := flag.String("flightrec-dump", "pmcpowerd-flightrec.json", "Chrome-trace file the flight recorder dumps to on SIGQUIT and drift-alert transitions (empty disables dumps)")
+	flightRecRetain := flag.Int("flightrec-retain", 0, "retained-trace ring size for slow/errored/flagged requests (0 = default 64)")
+	flightRecMinSlow := flag.Duration("flightrec-min-slow", 0, "absolute floor below which no request counts as slow (0 = default 1s)")
+	noFlightRec := flag.Bool("no-flightrec", false, "disable the tail-sampled flight recorder (/debug/requests, /debug/flightrec)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("pmcpowerd"))
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {
@@ -94,6 +114,10 @@ func main() {
 		warnMAPE:         *warnMAPE,
 		alertMAPE:        *alertMAPE,
 		noQuality:        *noQuality,
+		flightRecDump:    *flightRecDump,
+		flightRecRetain:  *flightRecRetain,
+		flightRecMinSlow: *flightRecMinSlow,
+		noFlightRec:      *noFlightRec,
 	}
 	if err := run(logger, opts); err != nil {
 		logger.Error("fatal", "err", err.Error())
@@ -116,6 +140,10 @@ type options struct {
 	warnMAPE         float64
 	alertMAPE        float64
 	noQuality        bool
+	flightRecDump    string
+	flightRecRetain  int
+	flightRecMinSlow time.Duration
+	noFlightRec      bool
 }
 
 func run(logger *slog.Logger, opts options) error {
@@ -160,7 +188,11 @@ func run(logger *slog.Logger, opts options) error {
 			WarnMAPEPct:  opts.warnMAPE,
 			AlertMAPEPct: opts.alertMAPE,
 		},
-		DisableQuality: opts.noQuality,
+		DisableQuality:    opts.noQuality,
+		DisableFlightRec:  opts.noFlightRec,
+		FlightRecRetain:   opts.flightRecRetain,
+		FlightRecMinSlow:  opts.flightRecMinSlow,
+		FlightRecDumpPath: opts.flightRecDump,
 	})
 	defer srv.Close()
 
@@ -178,6 +210,26 @@ func run(logger *slog.Logger, opts options) error {
 			logger.Info("debug listener", "addr", debugAddr)
 			if err := debugSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 				errc <- fmt.Errorf("debug listener: %w", err)
+			}
+		}()
+	}
+
+	// SIGQUIT dumps the flight recorder without stopping the daemon —
+	// the "what just happened" escape hatch when the service misbehaves
+	// but must keep serving.
+	if opts.flightRecDump != "" && srv.FlightRecorder() != nil {
+		quitc := make(chan os.Signal, 1)
+		signal.Notify(quitc, syscall.SIGQUIT)
+		defer signal.Stop(quitc)
+		go func() {
+			for range quitc {
+				if err := srv.FlightRecorder().WriteFile(opts.flightRecDump); err != nil {
+					logger.Error("flight-recorder dump failed", "path", opts.flightRecDump, "err", err.Error())
+					continue
+				}
+				total, kept := srv.FlightRecorder().Stats()
+				logger.Info("flight-recorder dump written",
+					"path", opts.flightRecDump, "requests_total", total, "retained_total", kept)
 			}
 		}()
 	}

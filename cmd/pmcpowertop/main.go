@@ -12,7 +12,14 @@
 // -validate decodes the status document with unknown fields
 // disallowed and checks the documented invariants; any violation is a
 // non-zero exit, which CI uses to pin the /v1/status contract against
-// a live daemon.
+// a live daemon. It applies the same strict decode to /debug/requests
+// (the flight-recorder view), so the request-tracing contract is
+// pinned too.
+//
+// Each snapshot also renders the daemon's recent requests — trace ID,
+// method, path, status, duration, retention — from /debug/requests,
+// so a drifting model or a latency outlier can be chased to a
+// concrete trace without leaving the terminal.
 package main
 
 import (
@@ -25,6 +32,8 @@ import (
 	"strings"
 	"time"
 
+	"pmcpower/internal/buildinfo"
+	"pmcpower/internal/obs"
 	"pmcpower/internal/serve"
 )
 
@@ -33,7 +42,12 @@ func main() {
 	interval := flag.Duration("interval", 2*time.Second, "poll interval")
 	once := flag.Bool("once", false, "print one snapshot and exit (for scripting)")
 	validate := flag.Bool("validate", false, "strictly validate the /v1/status document shape")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("pmcpowertop"))
+		return
+	}
 
 	client := &http.Client{Timeout: 10 * time.Second}
 	for {
@@ -48,11 +62,23 @@ func main() {
 				os.Exit(1)
 			}
 		}
+		reqs, err := fetchRequests(client, *addr, *validate)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pmcpowertop:", err)
+			os.Exit(1)
+		}
+		if *validate {
+			if err := validateRequests(reqs); err != nil {
+				fmt.Fprintln(os.Stderr, "pmcpowertop: requests validation:", err)
+				os.Exit(1)
+			}
+		}
 		if !*once {
 			// Clear screen and home the cursor between polls.
 			fmt.Print("\x1b[2J\x1b[H")
 		}
 		fmt.Print(render(status))
+		fmt.Print(renderRequests(reqs))
 		if *once {
 			return
 		}
@@ -121,6 +147,111 @@ func validateStatus(s serve.StatusResponse) error {
 		}
 	}
 	return nil
+}
+
+// fetchRequests GETs /debug/requests, strictly when validating.
+func fetchRequests(client *http.Client, base string, strict bool) (serve.RequestsResponse, error) {
+	var reqs serve.RequestsResponse
+	resp, err := client.Get(strings.TrimRight(base, "/") + "/debug/requests")
+	if err != nil {
+		return reqs, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return reqs, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return reqs, fmt.Errorf("/debug/requests returned %d: %s", resp.StatusCode, raw)
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	if strict {
+		dec.DisallowUnknownFields()
+	}
+	if err := dec.Decode(&reqs); err != nil {
+		return reqs, fmt.Errorf("decoding /debug/requests: %w", err)
+	}
+	return reqs, nil
+}
+
+// validateRequests checks the documented invariants of the
+// flight-recorder view beyond mere decodability.
+func validateRequests(r serve.RequestsResponse) error {
+	if r.Service != "pmcpowerd" {
+		return fmt.Errorf("service = %q, want pmcpowerd", r.Service)
+	}
+	if !r.Enabled {
+		return nil // recorder disabled: empty document is the contract
+	}
+	if r.RetainedTotal < uint64(len(r.RetainedTraces)) {
+		return fmt.Errorf("retained_total = %d < %d retained traces listed",
+			r.RetainedTotal, len(r.RetainedTraces))
+	}
+	for _, s := range append(append([]obs.RequestSummary{}, r.InFlight...), r.Recent...) {
+		if len(s.TraceID) != 32 || len(s.SpanID) != 16 {
+			return fmt.Errorf("request %s %s has malformed ids %q/%q", s.Method, s.Path, s.TraceID, s.SpanID)
+		}
+	}
+	for _, rt := range r.RetainedTraces {
+		if !rt.Summary.Retained {
+			return fmt.Errorf("retained trace %s not marked retained", rt.Summary.TraceID)
+		}
+	}
+	return nil
+}
+
+// renderRequests formats the recent-traces section under the quality
+// table: newest first, retained traces marked so an operator can pull
+// them from /debug/flightrec by trace id.
+func renderRequests(r serve.RequestsResponse) string {
+	if !r.Enabled {
+		return "\n(flight recorder disabled)\n"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "\nrequests: %d total, %d retained", r.RequestsTotal, r.RetainedTotal)
+	if r.SlowThresholdS > 0 {
+		fmt.Fprintf(&sb, ", slow > %.3fs", r.SlowThresholdS)
+	}
+	sb.WriteByte('\n')
+	rows := append(append([]obs.RequestSummary{}, r.InFlight...), r.Recent...)
+	if len(rows) == 0 {
+		sb.WriteString("(no requests yet)\n")
+		return sb.String()
+	}
+	fmt.Fprintf(&sb, "%-32s %-6s %-14s %6s %9s %8s %s\n",
+		"TRACE", "METHOD", "PATH", "STATUS", "DUR MS", "SAMPLES", "NOTE")
+	const maxRows = 15
+	shown := rows
+	if len(shown) > maxRows {
+		shown = shown[:maxRows]
+	}
+	for _, s := range shown {
+		note := ""
+		switch {
+		case s.InFlight:
+			note = "in-flight"
+		case s.Slow:
+			note = "slow"
+		case s.FlagReason != "":
+			note = s.FlagReason
+		case s.Error != "":
+			note = "error"
+		}
+		if s.Retained && note != "in-flight" {
+			note = strings.TrimSpace(note + " [retained]")
+		}
+		status := fmt.Sprintf("%d", s.Status)
+		if s.InFlight {
+			status = "-"
+		}
+		fmt.Fprintf(&sb, "%-32s %-6s %-14s %6s %9.2f %8d %s\n",
+			s.TraceID, s.Method, s.Path, status,
+			float64(s.DurationNs)/1e6, s.Samples, note)
+	}
+	if len(rows) > maxRows {
+		fmt.Fprintf(&sb, "(+%d more)\n", len(rows)-maxRows)
+	}
+	return sb.String()
 }
 
 func modelNames(models []serve.ModelInfo) map[string]bool {

@@ -30,6 +30,7 @@ import (
 	"os"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/core"
 	"pmcpower/internal/cpusim"
 	"pmcpower/internal/obs"
@@ -58,7 +59,12 @@ func main() {
 	flag.BoolVar(&cfg.verbose, "verbose", false, "print per-fold and per-workload detail")
 	flag.StringVar(&cfg.tracePath, "trace", "", "write a Chrome trace_event JSON timeline of the run to this file")
 	logLevel := flag.String("log-level", "warn", "log level for pipeline progress records: debug, info, warn, error")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("powermodel"))
+		return
+	}
 
 	level, err := obs.ParseLevel(*logLevel)
 	if err != nil {

@@ -18,6 +18,7 @@ import (
 	"os"
 	"strings"
 
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/scenario"
 )
 
@@ -25,7 +26,12 @@ func main() {
 	runFilter := flag.String("run", "", "only run scenarios whose name contains this substring")
 	jsonPath := flag.String("json", "", "write the JSON report to this file")
 	list := flag.Bool("list", false, "list scenarios and exit")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("scenarios"))
+		return
+	}
 
 	if *list {
 		for _, s := range scenario.Builtin() {

@@ -16,6 +16,7 @@ import (
 	"os"
 	"sort"
 
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/cpusim"
 	"pmcpower/internal/pmu"
 	"pmcpower/internal/power"
@@ -30,7 +31,12 @@ func main() {
 	seed := flag.Uint64("seed", 1, "run seed")
 	platformName := flag.String("platform", "haswell", "platform: haswell or arm")
 	list := flag.Bool("list", false, "list available workloads and exit")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("simulate"))
+		return
+	}
 
 	if *list {
 		listWorkloads()

@@ -1,15 +1,25 @@
 // Command tracecheck validates a Chrome trace_event JSON file
-// produced by the -trace flag of powermodel/expreport (or dumped from
-// pmcpowerd's /debug/trace): it parses the file, counts the span
-// events, and optionally asserts that named spans are present.
+// produced by the -trace flag of powermodel/expreport or dumped from
+// pmcpowerd's flight recorder (/debug/flightrec, SIGQUIT, alert
+// dumps): it parses the file, counts the span events, validates any
+// trace/span ID annotations, and optionally asserts that named spans
+// are present.
 //
 // Usage:
 //
-//	tracecheck [-require name,name,...] trace.json
+//	tracecheck [-require name,name,...] [-require-ids] trace.json
+//
+// ID linkage is always checked: every span arg `parent_span_id` must
+// name a `span_id` that exists somewhere in the file — an orphaned
+// child means the exporter dropped or mangled its root. ID fields,
+// when present, must be well-formed W3C hex (32 lowercase hex chars
+// for trace_id, 16 for span_id). With -require-ids every span must
+// carry both fields, which is the contract for flight-recorder dumps.
 //
 // Exit status 0 when the file is valid JSON in the trace_event format
-// with at least one span and every required name present; non-zero
-// otherwise. `make trace-demo` and CI use it to gate trace output.
+// with at least one span, sound ID linkage, and every required name
+// present; non-zero otherwise. `make trace-demo` and CI use it to
+// gate trace output.
 package main
 
 import (
@@ -19,44 +29,97 @@ import (
 	"os"
 	"sort"
 	"strings"
+
+	"pmcpower/internal/buildinfo"
 )
 
 func main() {
 	require := flag.String("require", "", "comma-separated span names that must appear in the trace")
+	requireIDs := flag.Bool("require-ids", false, "require every span to carry trace_id and span_id args (flight-recorder dump contract)")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("tracecheck"))
+		return
+	}
 	if flag.NArg() != 1 {
-		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name,...] trace.json")
+		fmt.Fprintln(os.Stderr, "usage: tracecheck [-require name,...] [-require-ids] trace.json")
 		os.Exit(2)
 	}
-	if err := check(flag.Arg(0), *require); err != nil {
+	if err := check(flag.Arg(0), *require, *requireIDs); err != nil {
 		fmt.Fprintln(os.Stderr, "tracecheck:", err)
 		os.Exit(1)
 	}
 }
 
-func check(path, require string) error {
+// spanEvent is the subset of a trace event tracecheck inspects. Args
+// IDs are optional: powermodel/expreport pipeline traces carry none,
+// flight-recorder dumps carry them on every span.
+type spanEvent struct {
+	Name  string `json:"name"`
+	Phase string `json:"ph"`
+	Args  struct {
+		TraceID      string `json:"trace_id"`
+		SpanID       string `json:"span_id"`
+		ParentSpanID string `json:"parent_span_id"`
+	} `json:"args"`
+}
+
+func check(path, require string, requireIDs bool) error {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return err
 	}
 	var tr struct {
-		TraceEvents []struct {
-			Name  string `json:"name"`
-			Phase string `json:"ph"`
-		} `json:"traceEvents"`
+		TraceEvents []spanEvent `json:"traceEvents"`
 	}
 	if err := json.Unmarshal(data, &tr); err != nil {
 		return fmt.Errorf("%s: not valid trace JSON: %w", path, err)
 	}
 	spans := make(map[string]int)
+	spanIDs := make(map[string]bool)
+	annotated := 0
 	for _, ev := range tr.TraceEvents {
-		if ev.Phase == "X" {
-			spans[ev.Name]++
+		if ev.Phase != "X" {
+			continue
+		}
+		spans[ev.Name]++
+		if ev.Args.SpanID != "" {
+			spanIDs[ev.Args.SpanID] = true
+		}
+		if ev.Args.TraceID != "" || ev.Args.SpanID != "" {
+			annotated++
 		}
 	}
 	if len(spans) == 0 {
 		return fmt.Errorf("%s: no span events", path)
 	}
+
+	// ID discipline: well-formed hex where present, every parent
+	// resolvable, and (under -require-ids) no unannotated spans.
+	orphans := 0
+	for _, ev := range tr.TraceEvents {
+		if ev.Phase != "X" {
+			continue
+		}
+		if ev.Args.TraceID != "" && !validHex(ev.Args.TraceID, 32) {
+			return fmt.Errorf("%s: span %q has malformed trace_id %q", path, ev.Name, ev.Args.TraceID)
+		}
+		if ev.Args.SpanID != "" && !validHex(ev.Args.SpanID, 16) {
+			return fmt.Errorf("%s: span %q has malformed span_id %q", path, ev.Name, ev.Args.SpanID)
+		}
+		if requireIDs && (ev.Args.TraceID == "" || ev.Args.SpanID == "") {
+			return fmt.Errorf("%s: span %q lacks trace_id/span_id args", path, ev.Name)
+		}
+		if p := ev.Args.ParentSpanID; p != "" && !spanIDs[p] {
+			fmt.Fprintf(os.Stderr, "tracecheck: orphaned span %q: parent_span_id %s matches no span\n", ev.Name, p)
+			orphans++
+		}
+	}
+	if orphans > 0 {
+		return fmt.Errorf("%s: %d orphaned spans", path, orphans)
+	}
+
 	if require != "" {
 		var missing []string
 		for _, name := range strings.Split(require, ",") {
@@ -78,9 +141,22 @@ func check(path, require string) error {
 	for _, n := range names {
 		total += spans[n]
 	}
-	fmt.Printf("%s: %d spans, %d distinct names\n", path, total, len(names))
+	fmt.Printf("%s: %d spans, %d distinct names, %d id-annotated\n", path, total, len(names), annotated)
 	for _, n := range names {
 		fmt.Printf("  %6d  %s\n", spans[n], n)
 	}
 	return nil
+}
+
+func validHex(s string, n int) bool {
+	if len(s) != n {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return true
 }

@@ -19,6 +19,7 @@ import (
 	"os"
 
 	"pmcpower/internal/acquisition"
+	"pmcpower/internal/buildinfo"
 	"pmcpower/internal/phasedetect"
 	"pmcpower/internal/phaseprofile"
 	"pmcpower/internal/pmu"
@@ -31,7 +32,12 @@ func main() {
 	wlName := flag.String("workload", "compute", "workload to trace with -gen")
 	freq := flag.Int("freq", 2400, "core frequency in MHz for -gen")
 	detect := flag.Bool("detect", false, "segment the power signal instead of listing phases")
+	showVersion := flag.Bool("version", false, "print build information and exit")
 	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("traceinfo"))
+		return
+	}
 
 	if *gen != "" {
 		if err := generate(*gen, *wlName, *freq); err != nil {

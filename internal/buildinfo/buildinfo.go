@@ -1,0 +1,82 @@
+// Package buildinfo extracts a human-readable build identity from the
+// metadata the Go linker embeds into every binary: module version,
+// VCS revision, commit time, and toolchain. Every cmd/* binary exposes
+// it behind a -version flag so deployed daemons and one-shot tools can
+// be matched to a source revision without guessing.
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+	"strings"
+)
+
+// Info is the subset of the embedded build metadata worth printing.
+type Info struct {
+	// Version is the main module version ("dev" when unstamped, as in
+	// `go run` or a plain `go build` outside a tagged checkout).
+	Version string
+	// Revision is the VCS commit hash, empty when the binary was built
+	// outside version control.
+	Revision string
+	// Time is the commit timestamp (RFC 3339), empty when unknown.
+	Time string
+	// Dirty reports uncommitted changes at build time.
+	Dirty bool
+	// GoVersion is the toolchain that built the binary.
+	GoVersion string
+}
+
+// Read assembles Info from the running binary's embedded build
+// metadata. It never fails: missing fields come back empty and the
+// version degrades to "dev".
+func Read() Info {
+	info := Info{Version: "dev", GoVersion: runtime.Version()}
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return info
+	}
+	if v := bi.Main.Version; v != "" && v != "(devel)" {
+		info.Version = v
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			info.Revision = s.Value
+		case "vcs.time":
+			info.Time = s.Value
+		case "vcs.modified":
+			info.Dirty = s.Value == "true"
+		}
+	}
+	return info
+}
+
+// Format renders one -version line for the named binary, e.g.
+//
+//	pmcpowerd dev (rev 1a2b3c4d, built 2026-08-08T10:00:00Z, go1.22.1)
+//
+// Fields that are unknown are omitted rather than printed empty.
+func Format(binary string) string {
+	return Read().format(binary)
+}
+
+func (i Info) format(binary string) string {
+	var parts []string
+	if i.Revision != "" {
+		rev := i.Revision
+		if len(rev) > 12 {
+			rev = rev[:12]
+		}
+		if i.Dirty {
+			rev += "+dirty"
+		}
+		parts = append(parts, "rev "+rev)
+	}
+	if i.Time != "" {
+		parts = append(parts, "built "+i.Time)
+	}
+	parts = append(parts, i.GoVersion)
+	return fmt.Sprintf("%s %s (%s)", binary, i.Version, strings.Join(parts, ", "))
+}

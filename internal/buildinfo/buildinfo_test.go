@@ -1,0 +1,48 @@
+package buildinfo
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestReadNeverEmpty(t *testing.T) {
+	info := Read()
+	if info.Version == "" {
+		t.Fatal("version is empty; want at least \"dev\"")
+	}
+	if !strings.HasPrefix(info.GoVersion, "go") {
+		t.Fatalf("go version = %q", info.GoVersion)
+	}
+}
+
+func TestFormatRendering(t *testing.T) {
+	cases := []struct {
+		info Info
+		want string
+	}{
+		{
+			Info{Version: "dev", GoVersion: "go1.22.1"},
+			"tool dev (go1.22.1)",
+		},
+		{
+			Info{Version: "v1.2.3", Revision: "0123456789abcdef0123", Time: "2026-08-08T10:00:00Z", GoVersion: "go1.22.1"},
+			"tool v1.2.3 (rev 0123456789ab, built 2026-08-08T10:00:00Z, go1.22.1)",
+		},
+		{
+			Info{Version: "v1.2.3", Revision: "abcd1234", Dirty: true, GoVersion: "go1.22.1"},
+			"tool v1.2.3 (rev abcd1234+dirty, go1.22.1)",
+		},
+	}
+	for _, c := range cases {
+		if got := c.info.format("tool"); got != c.want {
+			t.Errorf("format = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestFormatUsesRunningBinary(t *testing.T) {
+	out := Format("tracecheck")
+	if !strings.HasPrefix(out, "tracecheck ") || !strings.Contains(out, "go1") {
+		t.Fatalf("Format = %q", out)
+	}
+}

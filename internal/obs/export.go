@@ -78,6 +78,12 @@ func (t *Tracer) WriteChromeTrace(w io.Writer) error {
 			tr.TraceEvents = append(tr.TraceEvents, ev)
 		}
 	}
+	return writeChromeJSON(w, tr)
+}
+
+// writeChromeJSON encodes a chromeTrace to w; shared by the span
+// tracer and the flight recorder.
+func writeChromeJSON(w io.Writer, tr chromeTrace) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(tr)
 }

@@ -1,0 +1,142 @@
+package obs
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"log/slog"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// TestLoggerFieldStability pins the wire shape of a log record: one
+// JSON object per line with time/level/msg plus the attrs, at the
+// exact keys operators grep for (trace_id correlation depends on the
+// key surviving refactors).
+func TestLoggerFieldStability(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelInfo)
+	log.Info("request",
+		"method", "POST",
+		"path", "/v1/estimate",
+		"status", 200,
+		"trace_id", "4bf92f3577b34da6a3ce929d0e0e4736",
+		"span_id", "00f067aa0ba902b7",
+		"duration_ms", 1.25,
+	)
+
+	line := strings.TrimSpace(buf.String())
+	if strings.Count(line, "\n") != 0 {
+		t.Fatalf("record spans multiple lines: %q", line)
+	}
+	var rec map[string]any
+	if err := json.Unmarshal([]byte(line), &rec); err != nil {
+		t.Fatalf("record is not one JSON object: %v\n%s", err, line)
+	}
+	want := map[string]any{
+		"level":       "INFO",
+		"msg":         "request",
+		"method":      "POST",
+		"path":        "/v1/estimate",
+		"status":      float64(200),
+		"trace_id":    "4bf92f3577b34da6a3ce929d0e0e4736",
+		"span_id":     "00f067aa0ba902b7",
+		"duration_ms": 1.25,
+	}
+	for k, v := range want {
+		if rec[k] != v {
+			t.Errorf("record[%q] = %v, want %v", k, rec[k], v)
+		}
+	}
+	if _, ok := rec["time"]; !ok {
+		t.Error("record lacks a time field")
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	var buf bytes.Buffer
+	log := NewLogger(&buf, slog.LevelWarn)
+	log.Debug("hidden")
+	log.Info("hidden too")
+	log.Warn("visible")
+	log.Error("also visible")
+	lines := strings.Count(buf.String(), "\n")
+	if lines != 2 {
+		t.Fatalf("got %d records, want 2 (warn+error)\n%s", lines, buf.String())
+	}
+	if strings.Contains(buf.String(), "hidden") {
+		t.Fatalf("suppressed level leaked: %s", buf.String())
+	}
+}
+
+func TestParseLevelTable(t *testing.T) {
+	cases := map[string]slog.Level{
+		"debug":   slog.LevelDebug,
+		"info":    slog.LevelInfo,
+		"":        slog.LevelInfo,
+		"WARN":    slog.LevelWarn,
+		"warning": slog.LevelWarn,
+		"Error":   slog.LevelError,
+	}
+	for in, want := range cases {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("verbose"); err == nil {
+		t.Error("ParseLevel(verbose) did not error")
+	}
+}
+
+// lockedBuffer serializes writes the way a real log sink (a file, a
+// pipe) does, so the test asserts the logger's framing, not the
+// buffer's thread-safety.
+type lockedBuffer struct {
+	mu  sync.Mutex
+	buf bytes.Buffer
+}
+
+func (b *lockedBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.buf.Write(p)
+}
+
+// TestLoggerConcurrent hammers one logger from many goroutines under
+// the race detector and asserts every emitted line is a complete,
+// parseable JSON record — slog must frame each record in a single
+// Write.
+func TestLoggerConcurrent(t *testing.T) {
+	var buf lockedBuffer
+	log := NewLogger(&buf, slog.LevelInfo)
+	const goroutines, per = 16, 100
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				log.Info("concurrent", "goroutine", g, "i", i, "trace_id", "4bf92f3577b34da6a3ce929d0e0e4736")
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	sc := bufio.NewScanner(&buf.buf)
+	n := 0
+	for sc.Scan() {
+		var rec map[string]any
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("interleaved/corrupt record %d: %v\n%s", n, err, sc.Text())
+		}
+		if rec["msg"] != "concurrent" {
+			t.Fatalf("record %d msg = %v", n, rec["msg"])
+		}
+		n++
+	}
+	if n != goroutines*per {
+		t.Fatalf("got %d records, want %d", n, goroutines*per)
+	}
+}

@@ -99,6 +99,23 @@ type Histogram struct {
 	counts []uint64 // len(bounds)+1; last is the +Inf overflow
 	sum    float64
 	count  uint64
+	// exemplars holds the latest trace-id exemplar per bucket, allocated
+	// lazily on the first ObserveExemplar so plain histograms pay
+	// nothing. Exemplars are exposed only through the Exemplars method
+	// (JSON debug surfaces) — the Prometheus text exposition is
+	// unchanged, keeping its byte-stability contract.
+	exemplars []BucketExemplar
+}
+
+// BucketExemplar links one histogram bucket to the most recent traced
+// observation that landed in it, so a latency bucket resolves to a
+// concrete request trace.
+type BucketExemplar struct {
+	// LE is the bucket's upper bound rendered like the text exposition
+	// (`+Inf` for the overflow bucket).
+	LE      string  `json:"le"`
+	Value   float64 `json:"value"`
+	TraceID string  `json:"trace_id"`
 }
 
 // Observe records one value.
@@ -109,6 +126,41 @@ func (h *Histogram) Observe(v float64) {
 	h.sum += v
 	h.count++
 	h.mu.Unlock()
+}
+
+// ObserveExemplar records one value and, when traceID is non-empty,
+// stamps it as the bucket's exemplar (latest wins).
+func (h *Histogram) ObserveExemplar(v float64, traceID string) {
+	i := sort.SearchFloat64s(h.bounds, v) // first bound >= v
+	h.mu.Lock()
+	h.counts[i]++
+	h.sum += v
+	h.count++
+	if traceID != "" {
+		if h.exemplars == nil {
+			h.exemplars = make([]BucketExemplar, len(h.bounds)+1)
+		}
+		le := "+Inf"
+		if i < len(h.bounds) {
+			le = formatFloat(h.bounds[i])
+		}
+		h.exemplars[i] = BucketExemplar{LE: le, Value: v, TraceID: traceID}
+	}
+	h.mu.Unlock()
+}
+
+// Exemplars returns the buckets currently carrying an exemplar,
+// ordered by bound. Empty until the first ObserveExemplar.
+func (h *Histogram) Exemplars() []BucketExemplar {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var out []BucketExemplar
+	for _, e := range h.exemplars {
+		if e.TraceID != "" {
+			out = append(out, e)
+		}
+	}
+	return out
 }
 
 // Count returns the number of observations.

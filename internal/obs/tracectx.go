@@ -1,0 +1,165 @@
+package obs
+
+import (
+	"context"
+	cryptorand "crypto/rand"
+	"encoding/binary"
+	"encoding/hex"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceContext is the request-scoped tracing identity that travels on
+// the wire: a 128-bit trace id shared by every hop of one logical
+// request and a 64-bit span id naming this process's part of it. The
+// encoding follows the W3C Trace Context `traceparent` header
+// (version 00), so any client or proxy that already speaks
+// traceparent can hand pmcpowerd a trace id and find it again in the
+// response rows, the structured log, and the flight-recorder dump.
+type TraceContext struct {
+	// TraceID is 32 lowercase hex characters, never all-zero.
+	TraceID string
+	// SpanID is 16 lowercase hex characters, never all-zero.
+	SpanID string
+}
+
+// Valid reports whether both IDs are well-formed (correct length,
+// lowercase hex, not all-zero).
+func (tc TraceContext) Valid() bool {
+	return validHexID(tc.TraceID, 32) && validHexID(tc.SpanID, 16)
+}
+
+// Traceparent renders the context as a W3C traceparent header value:
+// 00-<trace-id>-<span-id>-01 (version 00, sampled flag set — the
+// flight recorder decides retention after the fact, so every request
+// is a sampling candidate).
+func (tc TraceContext) Traceparent() string {
+	return "00-" + tc.TraceID + "-" + tc.SpanID + "-01"
+}
+
+// ParseTraceparent parses an inbound traceparent header value. It
+// accepts any version byte (per the spec, unknown versions are parsed
+// as version 00) and ignores the trace-flags byte. ok is false for a
+// missing or malformed header, in which case the caller should mint a
+// fresh context.
+func ParseTraceparent(h string) (TraceContext, bool) {
+	h = strings.TrimSpace(h)
+	parts := strings.Split(h, "-")
+	if len(parts) < 4 {
+		return TraceContext{}, false
+	}
+	version, traceID, spanID := parts[0], parts[1], parts[2]
+	if len(version) != 2 || !isHex(version) || version == "ff" {
+		return TraceContext{}, false
+	}
+	tc := TraceContext{TraceID: traceID, SpanID: spanID}
+	if !tc.Valid() {
+		return TraceContext{}, false
+	}
+	return tc, true
+}
+
+// idState seeds span/trace id generation once from the OS entropy
+// pool and then advances a cheap splitmix64 counter per id — minting
+// must not cost a syscall per request.
+var idState struct {
+	once sync.Once
+	ctr  atomic.Uint64
+	key  uint64
+}
+
+func idSeed() {
+	var b [16]byte
+	if _, err := cryptorand.Read(b[:]); err != nil {
+		// Entropy exhaustion is effectively impossible on the platforms
+		// we run on; fall back to the clock rather than failing a
+		// request over an observability ID.
+		binary.LittleEndian.PutUint64(b[:8], uint64(time.Now().UnixNano()))
+		binary.LittleEndian.PutUint64(b[8:], uint64(time.Now().UnixNano())^0x9e3779b97f4a7c15)
+	}
+	idState.ctr.Store(binary.LittleEndian.Uint64(b[:8]))
+	idState.key = binary.LittleEndian.Uint64(b[8:])
+}
+
+// nextID returns a 64-bit pseudo-random id word: splitmix64 over a
+// random-origin counter, XOR-folded with a random key. Not
+// cryptographic — trace ids are correlation handles, not secrets.
+func nextID() uint64 {
+	idState.once.Do(idSeed)
+	z := idState.ctr.Add(0x9e3779b97f4a7c15) ^ idState.key
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// hexID renders words as lowercase hex, re-rolling the all-zero value
+// the W3C format reserves for "absent".
+func hexID(n int) string {
+	b := make([]byte, n/2)
+	for {
+		zero := true
+		for i := 0; i < len(b); i += 8 {
+			w := nextID()
+			for j := 0; j < 8 && i+j < len(b); j++ {
+				b[i+j] = byte(w >> (8 * j))
+				if b[i+j] != 0 {
+					zero = false
+				}
+			}
+		}
+		if !zero {
+			return hex.EncodeToString(b)
+		}
+	}
+}
+
+// NewTraceContext mints a fresh trace id and span id pair for a
+// request that arrived without a traceparent header.
+func NewTraceContext() TraceContext {
+	return TraceContext{TraceID: hexID(32), SpanID: hexID(16)}
+}
+
+// NewSpanID mints a fresh span id (used when adopting an inbound
+// trace id: the caller's span id names the caller's span, the server
+// needs its own).
+func NewSpanID() string { return hexID(16) }
+
+func validHexID(s string, n int) bool {
+	if len(s) != n || !isHex(s) {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] != '0' {
+			return true
+		}
+	}
+	return false
+}
+
+func isHex(s string) bool {
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if (c < '0' || c > '9') && (c < 'a' || c > 'f') {
+			return false
+		}
+	}
+	return len(s) > 0
+}
+
+type traceCtxKey struct{}
+
+// ContextWithTrace returns a context carrying tc; handlers thread it
+// so every layer (spans, logs, NDJSON rows, quality observations) can
+// stamp the same IDs.
+func ContextWithTrace(ctx context.Context, tc TraceContext) context.Context {
+	return context.WithValue(ctx, traceCtxKey{}, tc)
+}
+
+// TraceFromContext returns the trace context carried by ctx; ok is
+// false for an untraced context.
+func TraceFromContext(ctx context.Context) (TraceContext, bool) {
+	tc, ok := ctx.Value(traceCtxKey{}).(TraceContext)
+	return tc, ok
+}

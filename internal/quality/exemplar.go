@@ -17,11 +17,15 @@ type Observation struct {
 	TimeNs       uint64
 	Session      string
 	ModelVersion uint64
-	FreqMHz      int
-	VoltageV     float64
-	Rates        map[pmu.EventID]float64
-	PredictedW   float64
-	ObservedW    float64
+	// TraceID is the request trace carrying this sample ("" for an
+	// untraced caller). It rides through exemplar records and drift
+	// transitions so a quality event resolves to a concrete request.
+	TraceID    string
+	FreqMHz    int
+	VoltageV   float64
+	Rates      map[pmu.EventID]float64
+	PredictedW float64
+	ObservedW  float64
 }
 
 // rateEntry is one captured counter rate, stored sorted by event id
@@ -146,6 +150,7 @@ type ExemplarRecord struct {
 	TimeNs         uint64             `json:"time_ns"`
 	CapturedUnixNs int64              `json:"captured_unix_ns"`
 	Session        string             `json:"session,omitempty"`
+	TraceID        string             `json:"trace_id,omitempty"`
 	ModelVersion   uint64             `json:"model_version"`
 	FreqMHz        int                `json:"freq_mhz"`
 	VoltageV       float64            `json:"voltage_v"`
@@ -169,6 +174,7 @@ func (e *Exemplars) Records() []ExemplarRecord {
 			TimeNs:         en.obs.TimeNs,
 			CapturedUnixNs: en.captured.UnixNano(),
 			Session:        en.obs.Session,
+			TraceID:        en.obs.TraceID,
 			ModelVersion:   en.obs.ModelVersion,
 			FreqMHz:        en.obs.FreqMHz,
 			VoltageV:       en.obs.VoltageV,

@@ -17,10 +17,12 @@ type Config struct {
 	// defaulted; see Thresholds).
 	Thresholds Thresholds
 	// OnTransition, when non-nil, is invoked for every drift state
-	// change with the window snapshot that caused it. It runs under
-	// the monitor lock — keep it cheap (set a gauge, emit a log
-	// record) and do not call back into the monitor.
-	OnTransition func(from, to State, snap WindowSnapshot)
+	// change with the observation that triggered it (its TraceID links
+	// the transition to a concrete request) and the window snapshot
+	// that caused it. It runs under the monitor lock — keep it cheap
+	// (set a gauge, emit a log record, flag a trace) and do not call
+	// back into the monitor.
+	OnTransition func(from, to State, o Observation, snap WindowSnapshot)
 	// Now supplies exemplar capture timestamps, injectable for tests.
 	// Default time.Now.
 	Now func() time.Time
@@ -78,7 +80,7 @@ func (m *Monitor) Observe(o Observation) bool {
 	m.exemplars.Consider(o, m.cfg.Now())
 	snap := m.tracker.Snapshot()
 	if from, to, changed := m.machine.Update(snap); changed && m.cfg.OnTransition != nil {
-		m.cfg.OnTransition(from, to, snap)
+		m.cfg.OnTransition(from, to, o, snap)
 	}
 	return true
 }

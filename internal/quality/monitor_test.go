@@ -75,7 +75,7 @@ func TestMonitorDriftLifecycle(t *testing.T) {
 			WarnBiasW: -1, AlertBiasW: -1, // isolate the MAPE trigger
 			MinSamples: 8,
 		},
-		OnTransition: func(from, to State, snap WindowSnapshot) {
+		OnTransition: func(from, to State, o Observation, snap WindowSnapshot) {
 			seen = append(seen, transition{from, to})
 		},
 		Now: func() time.Time { return time.Unix(1_700_000_000, 0) },

@@ -49,6 +49,7 @@ func Builtin() []Scenario {
 		SessionChurn(),
 		MalformedClientFlood(),
 		QualityDegradation(),
+		SlowRequestCapture(),
 	}
 }
 

@@ -170,6 +170,31 @@ func (f *serveFixture) modelQuality(model string) (serve.ModelQuality, error) {
 	return serve.ModelQuality{}, fmt.Errorf("scenario: /v1/status has no quality entry for %q", model)
 }
 
+// requests fetches /debug/requests through a strict decoder — the
+// same shape validation pmcpowertop -validate runs, so a scenario
+// failure here means the wire contract drifted.
+func (f *serveFixture) requests() (serve.RequestsResponse, error) {
+	var out serve.RequestsResponse
+	resp, err := http.Get(f.ts.URL + "/debug/requests")
+	if err != nil {
+		return out, err
+	}
+	defer resp.Body.Close()
+	raw, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return out, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return out, fmt.Errorf("scenario: /debug/requests returned %d", resp.StatusCode)
+	}
+	dec := json.NewDecoder(bytes.NewReader(raw))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&out); err != nil {
+		return out, fmt.Errorf("scenario: /debug/requests does not match the documented shape: %w", err)
+	}
+	return out, nil
+}
+
 // exemplars fetches and decodes /debug/exemplars.
 func (f *serveFixture) exemplars() ([]serve.ExemplarEntry, error) {
 	resp, err := http.Get(f.ts.URL + "/debug/exemplars")
@@ -265,11 +290,25 @@ type streamResult struct {
 // response line. A transport-level failure (connection died — e.g. a
 // crashed handler) is returned as an error.
 func streamLines(ts *httptest.Server, query string, lines []string) (streamResult, error) {
+	return streamLinesTraced(ts, query, "", lines)
+}
+
+// streamLinesTraced is streamLines with an inbound W3C traceparent
+// header, so a scenario can pin the trace id the server adopts.
+func streamLinesTraced(ts *httptest.Server, query, traceparent string, lines []string) (streamResult, error) {
 	body := ""
 	if len(lines) > 0 {
 		body = strings.Join(lines, "\n") + "\n"
 	}
-	resp, err := http.Post(ts.URL+"/v1/estimate"+query, "application/x-ndjson", strings.NewReader(body))
+	req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/estimate"+query, strings.NewReader(body))
+	if err != nil {
+		return streamResult{}, err
+	}
+	req.Header.Set("Content-Type", "application/x-ndjson")
+	if traceparent != "" {
+		req.Header.Set("traceparent", traceparent)
+	}
+	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
 		return streamResult{}, fmt.Errorf("scenario: stream transport: %w", err)
 	}
@@ -325,11 +364,26 @@ type heldStream struct {
 // returns once the server has begun responding — at which point the
 // session is provably acquired and busy.
 func openHeldStream(ts *httptest.Server, query, firstLine string) (*heldStream, error) {
+	return openHeldStreamTraced(ts, query, "", firstLine)
+}
+
+// openHeldStreamTraced is openHeldStream with an inbound traceparent.
+func openHeldStreamTraced(ts *httptest.Server, query, traceparent, firstLine string) (*heldStream, error) {
 	pr, pw := io.Pipe()
 	respCh := make(chan *http.Response, 1)
 	done := make(chan error, 1)
 	go func() {
-		resp, err := http.Post(ts.URL+"/v1/estimate"+query, "application/x-ndjson", pr)
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/estimate"+query, pr)
+		if err != nil {
+			done <- err
+			respCh <- nil
+			return
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		if traceparent != "" {
+			req.Header.Set("traceparent", traceparent)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			done <- err
 			respCh <- nil

@@ -134,6 +134,21 @@ func (m *Metrics) RequestLatency(path string, d time.Duration) {
 		nil, obs.Label{Key: "path", Value: path}).Observe(d.Seconds())
 }
 
+// RequestLatencyExemplar records one full-request duration for path
+// and stamps the request's trace id as the landing bucket's exemplar,
+// so a latency bucket on /debug/requests links to a concrete trace.
+func (m *Metrics) RequestLatencyExemplar(path string, d time.Duration, traceID string) {
+	m.reg.Histogram("pmcpowerd_request_seconds", "HTTP request latency by path.",
+		nil, obs.Label{Key: "path", Value: path}).ObserveExemplar(d.Seconds(), traceID)
+}
+
+// LatencyExemplars returns the trace-id exemplars currently attached
+// to path's request-latency histogram buckets.
+func (m *Metrics) LatencyExemplars(path string) []obs.BucketExemplar {
+	return m.reg.Histogram("pmcpowerd_request_seconds", "HTTP request latency by path.",
+		nil, obs.Label{Key: "path", Value: path}).Exemplars()
+}
+
 // Reject counts one rejected sample or refused request under reason.
 func (m *Metrics) Reject(reason string) {
 	m.reg.Counter("pmcpowerd_samples_rejected_total", "Rejected samples and refused requests by reason.",

@@ -264,8 +264,16 @@ func TestQualityDisabledBitIdentical(t *testing.T) {
 
 	run := func(disable bool) string {
 		_, ts := newTestServer(t, Config{DisableQuality: disable})
-		resp, err := http.Post(ts.URL+"/v1/estimate?model=m&refit=32&session=bit", "application/x-ndjson",
+		req, err := http.NewRequest(http.MethodPost, ts.URL+"/v1/estimate?model=m&refit=32&session=bit",
 			strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		// A fixed inbound trace context pins the trace id both runs echo
+		// into their rows; minted ids would differ run to run.
+		req.Header.Set("traceparent", "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01")
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			t.Fatal(err)
 		}

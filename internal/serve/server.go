@@ -83,6 +83,33 @@ type Config struct {
 	// Estimates are bit-identical either way — quality is a pure
 	// observer.
 	DisableQuality bool
+	// DisableFlightRec turns the tail-sampled flight recorder off:
+	// /debug/requests and /debug/flightrec serve empty documents and no
+	// per-request trace state is kept. Trace IDs still flow on the wire
+	// (headers, rows, logs) either way, and responses are bit-identical
+	// with the recorder on or off — it is a pure observer.
+	DisableFlightRec bool
+	// FlightRecRetain caps the ring of fully retained traces. Default
+	// 64 (the obs package default).
+	FlightRecRetain int
+	// FlightRecRecent caps the recently-completed request summary ring
+	// served at /debug/requests. Default 128.
+	FlightRecRecent int
+	// FlightRecEvents caps captured events per trace. Default 64.
+	FlightRecEvents int
+	// FlightRecSlowFactor: a request is retained as slow when its
+	// duration exceeds SlowFactor × the rolling mean. Default 4.
+	FlightRecSlowFactor float64
+	// FlightRecMinSlow is the absolute floor under which no request
+	// counts as slow. Default 1s.
+	FlightRecMinSlow time.Duration
+	// FlightRecWarmup is the completed-request count before slow
+	// detection arms. Default 32.
+	FlightRecWarmup int
+	// FlightRecDumpPath, when non-empty, is where the recorder dumps a
+	// Chrome-trace file on a quality transition into alert (pmcpowerd
+	// also dumps there on SIGQUIT).
+	FlightRecDumpPath string
 }
 
 func (c Config) withDefaults() Config {
@@ -129,12 +156,13 @@ func (c Config) withDefaults() Config {
 // over per-client sessions, batch prediction, model listing, health,
 // and text metrics.
 type Server struct {
-	cfg      Config
-	reg      *Registry
-	metrics  *Metrics
-	sessions *sessionManager
-	quality  *qualityHub // nil when cfg.DisableQuality
-	mux      *http.ServeMux
+	cfg       Config
+	reg       *Registry
+	metrics   *Metrics
+	sessions  *sessionManager
+	quality   *qualityHub         // nil when cfg.DisableQuality
+	flightrec *obs.FlightRecorder // nil when cfg.DisableFlightRec
+	mux       *http.ServeMux
 
 	start     time.Time
 	version   string
@@ -158,11 +186,23 @@ func New(cfg Config) *Server {
 		goVersion: runtime.Version(),
 		stop:      make(chan struct{}),
 	}
+	if !cfg.DisableFlightRec {
+		s.flightrec = obs.NewFlightRecorder(obs.FlightRecorderConfig{
+			Stages:     flightStages,
+			Retain:     cfg.FlightRecRetain,
+			Recent:     cfg.FlightRecRecent,
+			MaxEvents:  cfg.FlightRecEvents,
+			SlowFactor: cfg.FlightRecSlowFactor,
+			MinSlow:    cfg.FlightRecMinSlow,
+			Warmup:     cfg.FlightRecWarmup,
+			Now:        cfg.Now,
+		})
+	}
 	qualityWindow := cfg.QualityWindow
 	if cfg.DisableQuality {
 		qualityWindow = 0
 	} else {
-		s.quality = newQualityHub(cfg, s.metrics, cfg.Logger)
+		s.quality = newQualityHub(cfg, s.metrics, cfg.Logger, s.flightrec)
 	}
 	s.sessions = newSessionManager(cfg.MaxSessions, cfg.IdleTTL, cfg.Now, s.metrics, qualityWindow)
 	s.metrics.SetBuildInfo(s.version, s.goVersion)
@@ -181,6 +221,8 @@ func New(cfg Config) *Server {
 	s.mux.HandleFunc("/v1/estimate", s.handleEstimate)
 	s.mux.HandleFunc("/v1/status", s.handleStatus)
 	s.mux.HandleFunc("/debug/exemplars", s.handleExemplars)
+	s.mux.HandleFunc("/debug/requests", s.handleRequests)
+	s.mux.HandleFunc("/debug/flightrec", s.handleFlightRec)
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 	s.janitor.Add(1)
 	go s.runJanitor()
@@ -196,23 +238,56 @@ func buildVersion() string {
 	return "dev"
 }
 
+// flightStages names the per-request stage timing slots the estimate
+// loop reports into the flight recorder; the stage* constants index
+// into it.
+var flightStages = []string{"parse", "push", "quality", "encode"}
+
+const (
+	stageParse = iota
+	stagePush
+	stageQuality
+	stageEncode
+)
+
 // Handler returns the root handler for an http.Server: the service
-// mux wrapped in the observability middleware (per-request latency
-// histograms for the estimation endpoints, an optional span per
-// request, and an optional structured request log).
+// mux wrapped in the observability middleware. Every request gets a
+// trace context — adopted from an inbound W3C `traceparent` header
+// (same trace id, fresh server-side span id) or minted — echoed back
+// in the response's Traceparent header and threaded through the
+// request context so spans, log records, NDJSON rows, quality
+// observations, and the flight recorder all carry the same IDs. The
+// middleware also records per-request latency histograms for the
+// estimation endpoints (with the trace id as bucket exemplar), an
+// optional span per request, an optional structured request log, and
+// the flight-recorder begin/finish bracket.
 func (s *Server) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		start := time.Now()
-		ctx, span := s.cfg.Tracer.StartSpan(r.Context(), "http "+r.URL.Path,
-			obs.String("method", r.Method))
+		tc, adopted := obs.ParseTraceparent(r.Header.Get("traceparent"))
+		if adopted {
+			// The caller's span id names the caller's span; this hop
+			// needs its own.
+			tc.SpanID = obs.NewSpanID()
+		} else {
+			tc = obs.NewTraceContext()
+		}
+		w.Header().Set("Traceparent", tc.Traceparent())
+		ctx := obs.ContextWithTrace(r.Context(), tc)
+		ctx, span := s.cfg.Tracer.StartSpan(ctx, "http "+r.URL.Path,
+			obs.String("method", r.Method),
+			obs.String("trace_id", tc.TraceID),
+			obs.String("span_id", tc.SpanID))
+		at := s.flightrec.Begin(tc, r.Method, r.URL.Path)
 		sw := &statusWriter{ResponseWriter: w}
 		s.mux.ServeHTTP(sw, r.WithContext(ctx))
 		d := time.Since(start)
 		status := sw.Status()
 		span.SetAttr(obs.Int("status", status))
 		span.End()
+		s.flightrec.Finish(at, status)
 		if p := r.URL.Path; p == "/v1/estimate" || p == "/v1/predict" {
-			s.metrics.RequestLatency(p, d)
+			s.metrics.RequestLatencyExemplar(p, d, tc.TraceID)
 		}
 		if s.cfg.Logger != nil {
 			attrs := []any{
@@ -220,6 +295,8 @@ func (s *Server) Handler() http.Handler {
 				"path", r.URL.Path,
 				"status", status,
 				"duration_ms", float64(d.Nanoseconds()) / 1e6,
+				"trace_id", tc.TraceID,
+				"span_id", tc.SpanID,
 			}
 			if id := r.URL.Query().Get("session"); id != "" {
 				attrs = append(attrs, "session", id)
@@ -265,6 +342,10 @@ func (sw *statusWriter) Unwrap() http.ResponseWriter { return sw.ResponseWriter 
 
 // Metrics exposes the server's counters (used by tests and embedders).
 func (s *Server) Metrics() *Metrics { return s.metrics }
+
+// FlightRecorder exposes the tail-sampled request recorder (nil when
+// disabled) — pmcpowerd dumps it on SIGQUIT, tests inspect it.
+func (s *Server) FlightRecorder() *obs.FlightRecorder { return s.flightrec }
 
 // ActiveSessions returns the number of live estimator sessions.
 func (s *Server) ActiveSessions() int { return s.sessions.count() }
@@ -334,14 +415,19 @@ type wireEstimate struct {
 	TotalJ       float64 `json:"total_j"`
 	Samples      uint64  `json:"samples"`
 	ModelVersion uint64  `json:"model_version"`
+	// TraceID is the request's trace id (constant across the rows of
+	// one stream), so one grep correlates a client-side row to the
+	// server's spans, logs, and flight-recorder capture.
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // wireError is an NDJSON error record emitted for samples rejected
 // after the stream has started (the session state is untouched; the
 // stream continues).
 type wireError struct {
-	Error  string `json:"error"`
-	Reason string `json:"reason"`
+	Error   string `json:"error"`
+	Reason  string `json:"reason"`
+	TraceID string `json:"trace_id,omitempty"`
 }
 
 // predictRequest is the body of POST /v1/predict.
@@ -357,9 +443,10 @@ type wireRow struct {
 }
 
 type predictResponse struct {
-	Model string    `json:"model"`
-	N     int       `json:"n"`
-	Watts []float64 `json:"watts"`
+	Model   string    `json:"model"`
+	N       int       `json:"n"`
+	Watts   []float64 `json:"watts"`
+	TraceID string    `json:"trace_id,omitempty"`
 }
 
 // --- handlers --------------------------------------------------------
@@ -424,6 +511,9 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	resp := predictResponse{Model: req.Model, N: len(req.Rows)}
+	if tc, ok := obs.TraceFromContext(r.Context()); ok {
+		resp.TraceID = tc.TraceID
+	}
 	for i, wr := range req.Rows {
 		row, reason, err := convertRow(wr, m)
 		if err != nil {
@@ -439,6 +529,8 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("/v1/estimate")
+	tc, _ := obs.TraceFromContext(r.Context())
+	at := s.flightrec.Lookup(tc.TraceID)
 	if r.Method != http.MethodPost {
 		writeError(w, http.StatusMethodNotAllowed, ReasonParse, errors.New("serve: POST required"))
 		return
@@ -446,9 +538,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	ref, err := s.reg.Resolve(q.Get("model"))
 	if err != nil {
+		at.Error(err.Error())
 		writeError(w, http.StatusNotFound, ReasonParse, err)
 		return
 	}
+	at.SetModel(ref.Key())
 	m := ref.Model
 	alpha := s.cfg.DefaultAlpha
 	if a := q.Get("alpha"); a != "" {
@@ -484,9 +578,11 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	var qtrack *quality.Tracker // per-session residual window (named sessions)
 	sessionID := q.Get("session")
 	if sessionID != "" {
+		at.SetSession(sessionID)
 		key := sessionKey{model: q.Get("model"), id: sessionID}
 		sess, herr := s.sessions.acquire(key, m, alpha, refitWindow)
 		if herr != nil {
+			at.Error(herr.err.Error())
 			writeError(w, herr.status, herr.reason, herr.err)
 			return
 		}
@@ -540,7 +636,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		if len(line) == 0 {
 			continue
 		}
+		stageStart := time.Now()
 		cs, powerW, reason, err := parseSample(line, m)
+		at.Stage(stageParse, time.Since(stageStart))
 		if err == nil {
 			start := time.Now()
 			var est core.StreamEstimate
@@ -552,13 +650,17 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 				est, perr = stream.Push(cs)
 			}
 			if perr == nil {
-				s.metrics.Estimate(time.Since(start))
+				pushD := time.Since(start)
+				s.metrics.Estimate(pushD)
+				at.Sample(stagePush, pushD)
 				if powerW != nil {
+					stageStart = time.Now()
 					if qmon != nil {
 						qmon.Observe(quality.Observation{
 							TimeNs:       cs.TimeNs,
 							Session:      sessionID,
 							ModelVersion: est.ModelVersion,
+							TraceID:      tc.TraceID,
 							FreqMHz:      cs.FreqMHz,
 							VoltageV:     cs.VoltageV,
 							Rates:        cs.Rates,
@@ -569,6 +671,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 					if qtrack != nil {
 						qtrack.Observe(est.InstantW, *powerW)
 					}
+					at.Stage(stageQuality, time.Since(stageStart))
 				}
 				if labelled {
 					s.metrics.RefitSample(math.Abs(est.InstantW - *powerW))
@@ -585,6 +688,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 					w.Header().Set("Content-Type", "application/x-ndjson")
 					streaming = true
 				}
+				stageStart = time.Now()
 				enc.Encode(wireEstimate{
 					TimeNs:       est.TimeNs,
 					InstantW:     est.InstantW,
@@ -592,8 +696,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 					TotalJ:       est.TotalJoules,
 					Samples:      est.Samples,
 					ModelVersion: est.ModelVersion,
+					TraceID:      tc.TraceID,
 				})
 				rc.Flush()
+				at.Stage(stageEncode, time.Since(stageStart))
 				continue
 			}
 			reason, err = classifyPushError(perr), perr
@@ -603,24 +709,28 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		// HTTP-level rejection; mid-stream it becomes an NDJSON error
 		// record and the stream continues.
 		s.metrics.Reject(reason)
+		at.Event("reject", reason, 0)
 		if !streaming {
+			at.Error(err.Error())
 			writeError(w, http.StatusBadRequest, reason, err)
 			return
 		}
-		enc.Encode(wireError{Error: err.Error(), Reason: reason})
+		enc.Encode(wireError{Error: err.Error(), Reason: reason, TraceID: tc.TraceID})
 		rc.Flush()
 	}
+	at.SetModelVersion(stream.ModelVersion())
 	if err := sc.Err(); err != nil {
 		reason := ReasonParse
 		if errors.Is(err, bufio.ErrTooLong) {
 			reason = ReasonOversized
 		}
 		s.metrics.Reject(reason)
+		at.Error(err.Error())
 		if !streaming {
 			writeError(w, http.StatusBadRequest, reason, fmt.Errorf("serve: reading stream: %w", err))
 			return
 		}
-		enc.Encode(wireError{Error: err.Error(), Reason: reason})
+		enc.Encode(wireError{Error: err.Error(), Reason: reason, TraceID: tc.TraceID})
 	}
 	if !streaming {
 		// Empty body: report the session totals (zero for a fresh

@@ -8,25 +8,38 @@ import (
 	"sort"
 	"sync"
 
+	"pmcpower/internal/obs"
 	"pmcpower/internal/quality"
 )
 
 // qualityHub owns one quality.Monitor per served model version,
 // created lazily the first time a labelled sample arrives for that
 // version. Transitions fan out to the metrics registry
-// (pmcpowerd_quality_state, pmcpowerd_quality_transitions_total) and
-// the structured log.
+// (pmcpowerd_quality_state, pmcpowerd_quality_transitions_total), the
+// structured log, and the flight recorder: the request whose sample
+// tipped the state machine is flagged for full-trace retention, and a
+// transition into alert dumps the recorder to disk (when a dump path
+// is configured) so the evidence survives the incident.
 type qualityHub struct {
-	cfg     Config
-	metrics *Metrics
-	logger  *slog.Logger
+	cfg      Config
+	metrics  *Metrics
+	logger   *slog.Logger
+	recorder *obs.FlightRecorder // nil when flight recording is disabled
+	dumpPath string              // alert-transition dump target; "" disables
 
 	mu       sync.Mutex
 	monitors map[string]*quality.Monitor
 }
 
-func newQualityHub(cfg Config, m *Metrics, logger *slog.Logger) *qualityHub {
-	return &qualityHub{cfg: cfg, metrics: m, logger: logger, monitors: make(map[string]*quality.Monitor)}
+func newQualityHub(cfg Config, m *Metrics, logger *slog.Logger, rec *obs.FlightRecorder) *qualityHub {
+	return &qualityHub{
+		cfg:      cfg,
+		metrics:  m,
+		logger:   logger,
+		recorder: rec,
+		dumpPath: cfg.FlightRecDumpPath,
+		monitors: make(map[string]*quality.Monitor),
+	}
 }
 
 // monitor returns the monitor for one resolved model key
@@ -42,7 +55,7 @@ func (h *qualityHub) monitor(key string) *quality.Monitor {
 		Exemplars:  h.cfg.QualityExemplars,
 		Thresholds: h.cfg.QualityThresholds,
 		Now:        h.cfg.Now,
-		OnTransition: func(from, to quality.State, snap quality.WindowSnapshot) {
+		OnTransition: func(from, to quality.State, o quality.Observation, snap quality.WindowSnapshot) {
 			h.metrics.QualityState(key, float64(to))
 			h.metrics.QualityTransition(key, to.String())
 			if h.logger != nil {
@@ -57,10 +70,31 @@ func (h *qualityHub) monitor(key string) *quality.Monitor {
 					"model", key,
 					"from", from.String(),
 					"to", to.String(),
+					"trace_id", o.TraceID,
 					"window_n", snap.N,
 					"window_mape_pct", snap.MAPEPct,
 					"window_bias_w", snap.BiasW,
 				)
+			}
+			if o.TraceID != "" {
+				reason := "quality " + from.String() + "->" + to.String()
+				h.recorder.Flag(o.TraceID, reason)
+				h.recorder.Annotate(o.TraceID, "quality transition", key+": "+reason)
+			}
+			if to == quality.StateAlert && h.dumpPath != "" && h.recorder != nil {
+				// Synchronous by design: this runs once per alert
+				// transition (hysteresis-gated), and writing in the
+				// observing goroutine means the dump deterministically
+				// precedes any response the operator reacts to. The dump
+				// holds the traces retained *before* this request; the
+				// flagged request itself joins the ring when it finishes.
+				if err := h.recorder.WriteFile(h.dumpPath); err != nil {
+					if h.logger != nil {
+						h.logger.Error("flight-recorder alert dump failed", "path", h.dumpPath, "error", err.Error())
+					}
+				} else if h.logger != nil {
+					h.logger.Info("flight-recorder dump written on alert", "path", h.dumpPath, "model", key)
+				}
 			}
 		},
 	})
