@@ -1,0 +1,738 @@
+// Command loadgen is the deterministic load harness for the pmcpowerd
+// serving path. It synthesizes NDJSON estimate traffic (sessions ×
+// samples, seeded through internal/rng so two runs send byte-identical
+// bodies), drives it at a fixed concurrency, and reports throughput,
+// request-latency quantiles, and shed rate as a machine-readable JSON
+// document.
+//
+// Modes:
+//
+//	loadgen -mode compare            # self-hosted A/B: legacy serving vs
+//	                                 # sharded serving, plus an overload leg
+//	                                 # with admission control on (BENCH_7)
+//	loadgen -mode http               # one self-hosted run, default config
+//	loadgen -mode http -legacy       # one self-hosted run, seed-faithful path
+//	loadgen -mode http -addr URL     # drive a live pmcpowerd
+//	loadgen -mode engine             # in-process EstimateSample, no sockets:
+//	                                 # the contended serving-core measurement
+//	loadgen -validate -json FILE     # strict-decode a report and check its
+//	                                 # invariants (CI gate), no load generated
+//
+// The report schema is "pmcpower/loadgen/v1": a runs[] array plus an
+// optional comparison block; -validate decodes it with unknown fields
+// disallowed, so the committed BENCH_7.json cannot silently drift from
+// what the tool writes.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/buildinfo"
+	"pmcpower/internal/core"
+	"pmcpower/internal/pmu"
+	"pmcpower/internal/rng"
+	"pmcpower/internal/serve"
+	"pmcpower/internal/workloads"
+)
+
+// Report is the loadgen output document.
+type Report struct {
+	Schema    string     `json:"schema"`
+	Generated string     `json:"generated"`
+	Machine   string     `json:"machine"`
+	Config    RunConfig  `json:"config"`
+	Runs      []RunStats `json:"runs"`
+	// Comparison is present in compare mode: candidate vs baseline
+	// estimate-path throughput on the same traffic and machine.
+	Comparison *Comparison `json:"comparison,omitempty"`
+}
+
+// RunConfig is the traffic shape shared by every run in the report.
+type RunConfig struct {
+	Sessions          int    `json:"sessions"`
+	SamplesPerSession int    `json:"samples_per_session"`
+	Concurrency       int    `json:"concurrency"`
+	Batch             int    `json:"batch"`
+	Seed              uint64 `json:"seed"`
+	// Repeat is how many times each leg ran; the reported run is the
+	// median by throughput, damping noisy-neighbor variance.
+	Repeat int `json:"repeat,omitempty"`
+}
+
+// RunStats is one measured run.
+type RunStats struct {
+	Name          string  `json:"name"`
+	Mode          string  `json:"mode"` // "http" or "engine"
+	Legacy        bool    `json:"legacy,omitempty"`
+	Samples       int     `json:"samples"`  // accepted estimates
+	Requests      int     `json:"requests"` // admitted HTTP requests (0 in engine mode)
+	DurationS     float64 `json:"duration_s"`
+	ThroughputSPS float64 `json:"throughput_sps"` // accepted samples per second
+	P50MS         float64 `json:"p50_ms"`         // request (http) or push (engine) latency
+	P99MS         float64 `json:"p99_ms"`
+	Shed          uint64  `json:"shed"`      // requests refused by admission control
+	ShedRate      float64 `json:"shed_rate"` // shed / (requests + shed)
+	Errors        int     `json:"errors"`
+}
+
+// Comparison relates two named runs from the same report.
+type Comparison struct {
+	Baseline  string  `json:"baseline"`
+	Candidate string  `json:"candidate"`
+	Speedup   float64 `json:"speedup"`
+}
+
+const schemaV1 = "pmcpower/loadgen/v1"
+
+func main() {
+	mode := flag.String("mode", "compare", "compare | http | engine")
+	addr := flag.String("addr", "", "drive a live pmcpowerd at this base URL instead of self-hosting (http mode only)")
+	model := flag.String("model", "", "model key to estimate against (default: the daemon's sole model)")
+	sessions := flag.Int("sessions", 64, "concurrent session ids")
+	samples := flag.Int("samples", 400, "samples per session")
+	conc := flag.Int("conc", 64, "concurrent client streams")
+	batch := flag.Int("batch", 32, "samples per HTTP request")
+	seed := flag.Uint64("seed", 42, "traffic seed (identical seeds send identical bodies)")
+	repeat := flag.Int("repeat", 1, "run each leg this many times and report the median-throughput run")
+	legacy := flag.Bool("legacy", false, "self-host with the legacy (pre-sharding) serving path")
+	jsonPath := flag.String("json", "", "write (or with -validate, read) the report at this path")
+	validate := flag.Bool("validate", false, "validate an existing report instead of generating load")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile of the load run to this path")
+	showVersion := flag.Bool("version", false, "print build information and exit")
+	flag.Parse()
+	if *showVersion {
+		fmt.Println(buildinfo.Format("loadgen"))
+		return
+	}
+	if *validate {
+		if *jsonPath == "" {
+			fatal(fmt.Errorf("-validate requires -json FILE"))
+		}
+		if err := validateReport(*jsonPath); err != nil {
+			fatal(fmt.Errorf("%s: %w", *jsonPath, err))
+		}
+		fmt.Printf("loadgen: %s validates against %s\n", *jsonPath, schemaV1)
+		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	cfg := RunConfig{Sessions: *sessions, SamplesPerSession: *samples, Concurrency: *conc, Batch: *batch, Seed: *seed, Repeat: *repeat}
+	report := Report{
+		Schema:    schemaV1,
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Machine:   fmt.Sprintf("%s/%s, %d cpu, %s", runtime.GOOS, runtime.GOARCH, runtime.NumCPU(), runtime.Version()),
+		Config:    cfg,
+	}
+
+	switch *mode {
+	case "compare":
+		if *addr != "" {
+			fatal(fmt.Errorf("-mode compare is self-hosted; -addr applies to -mode http"))
+		}
+		runs, cmp, err := runCompare(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report.Runs, report.Comparison = runs, cmp
+	case "http":
+		stats, err := runHTTPMode(cfg, *addr, *model, *legacy)
+		if err != nil {
+			fatal(err)
+		}
+		report.Runs = []RunStats{stats}
+	case "engine":
+		stats, err := runEngineMode(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		report.Runs = []RunStats{stats}
+	default:
+		fatal(fmt.Errorf("unknown -mode %q", *mode))
+	}
+
+	out, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	out = append(out, '\n')
+	if *jsonPath != "" {
+		if err := os.WriteFile(*jsonPath, out, 0o644); err != nil {
+			fatal(err)
+		}
+	}
+	os.Stdout.Write(out)
+	for _, r := range report.Runs {
+		fmt.Fprintf(os.Stderr, "loadgen: %-18s %9.0f samples/s  p50 %7.3f ms  p99 %7.3f ms  shed %5.1f%%\n",
+			r.Name, r.ThroughputSPS, r.P50MS, r.P99MS, 100*r.ShedRate)
+	}
+	if report.Comparison != nil {
+		fmt.Fprintf(os.Stderr, "loadgen: %s is %.2fx %s\n",
+			report.Comparison.Candidate, report.Comparison.Speedup, report.Comparison.Baseline)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "loadgen:", err)
+	os.Exit(1)
+}
+
+// --- traffic synthesis ------------------------------------------------
+
+func loadgenEvents() []pmu.EventID {
+	var out []pmu.EventID
+	for _, n := range []string{"LST_INS", "STL_CCY", "L3_TCM", "TOT_CYC", "BR_UCN", "BR_TKN"} {
+		out = append(out, pmu.MustByName(n).ID)
+	}
+	return out
+}
+
+// trainModel calibrates the model every self-hosted run serves — the
+// same deterministic simulated campaign the serve tests use.
+func trainModel(seed uint64) (*core.Model, error) {
+	ds, err := acquisition.Acquire(acquisition.Options{Seed: seed, Events: loadgenEvents()},
+		workloads.Active(), []int{2000, 2400})
+	if err != nil {
+		return nil, err
+	}
+	return core.Train(ds.Rows, loadgenEvents(), core.TrainOptions{})
+}
+
+// sessionBodies renders session i's traffic as per-request NDJSON
+// bodies (batch samples each), deterministically from (seed, i). Rates
+// are jittered around plausible per-cycle magnitudes; timestamps rise
+// monotonically within the session.
+func sessionBodies(seed uint64, session int, events []string, samples, batch int) []string {
+	r := rng.Stream(seed, uint64(session)+1)
+	freqs := []int{2000, 2400}
+	var bodies []string
+	var sb strings.Builder
+	for j := 0; j < samples; j++ {
+		sb.WriteString(`{"time_ns":`)
+		fmt.Fprintf(&sb, "%d", uint64(j+1)*1_000_000)
+		fmt.Fprintf(&sb, `,"freq_mhz":%d,"voltage_v":%.3f,"rates":{`, freqs[r.Intn(len(freqs))], 1.05+0.1*r.Float64())
+		for k, ev := range events {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, `"%s":%.6f`, ev, 0.01+0.5*r.Float64())
+		}
+		sb.WriteString("}}\n")
+		if (j+1)%batch == 0 || j == samples-1 {
+			bodies = append(bodies, sb.String())
+			sb.Reset()
+		}
+	}
+	return bodies
+}
+
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// --- HTTP load --------------------------------------------------------
+
+// httpRun drives base with cfg's traffic and measures it. Sessions are
+// partitioned across cfg.Concurrency workers; each worker replays its
+// sessions' request sequence in order (a session's batches must stay
+// ordered — timestamps are monotonic).
+func httpRun(name string, base, model string, cfg RunConfig, events []string, legacy bool) (RunStats, error) {
+	stats := RunStats{Name: name, Mode: "http", Legacy: legacy}
+	// One body set per session, prepared before the clock starts.
+	bodies := make([][]string, cfg.Sessions)
+	for i := range bodies {
+		bodies[i] = sessionBodies(cfg.Seed, i, events, cfg.SamplesPerSession, cfg.Batch)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	type workerOut struct {
+		latencies []float64 // seconds, one per admitted request
+		samples   int
+		requests  int
+		shed      int
+		errors    int
+	}
+	outs := make([]workerOut, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &outs[w]
+			needle := []byte(`"instant_w"`)
+			var respBuf bytes.Buffer
+			for s := w; s < cfg.Sessions; s += cfg.Concurrency {
+				url := fmt.Sprintf("%s/v1/estimate?model=%s&session=ld-%d", base, model, s)
+				for _, body := range bodies[s] {
+					t0 := time.Now()
+					resp, err := client.Post(url, "application/x-ndjson", strings.NewReader(body))
+					if err != nil {
+						o.errors++
+						continue
+					}
+					respBuf.Reset()
+					_, err = respBuf.ReadFrom(resp.Body)
+					resp.Body.Close()
+					d := time.Since(t0).Seconds()
+					if err != nil {
+						o.errors++
+						continue
+					}
+					switch resp.StatusCode {
+					case http.StatusOK:
+						o.latencies = append(o.latencies, d)
+						o.requests++
+						o.samples += bytes.Count(respBuf.Bytes(), needle)
+					case http.StatusTooManyRequests, http.StatusServiceUnavailable:
+						o.shed++
+					default:
+						o.errors++
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.DurationS = time.Since(start).Seconds()
+
+	var lat []float64
+	for i := range outs {
+		lat = append(lat, outs[i].latencies...)
+		stats.Samples += outs[i].samples
+		stats.Requests += outs[i].requests
+		stats.Shed += uint64(outs[i].shed)
+		stats.Errors += outs[i].errors
+	}
+	sort.Float64s(lat)
+	stats.ThroughputSPS = float64(stats.Samples) / stats.DurationS
+	stats.P50MS = quantile(lat, 0.50) * 1e3
+	stats.P99MS = quantile(lat, 0.99) * 1e3
+	if total := float64(stats.Requests) + float64(stats.Shed); total > 0 {
+		stats.ShedRate = float64(stats.Shed) / total
+	}
+	if stats.Errors > 0 {
+		return stats, fmt.Errorf("run %s: %d request errors", name, stats.Errors)
+	}
+	return stats, nil
+}
+
+// streamPace is the think time between batch writes on a streaming
+// session: fleet hosts emit counter samples on a cadence, so a stream
+// holds its connection (and admission token) open between batches
+// instead of dumping its whole body in one burst.
+const streamPace = 2 * time.Millisecond
+
+// streamingRun drives base with one long-lived NDJSON stream per
+// session: the whole session rides a single request whose body is fed
+// batch by paced batch while the response is consumed concurrently.
+// This is the fleet's steady-state shape — and the one an in-flight
+// cap can push back on, since every open stream holds an admission
+// token for its lifetime. A refused stream costs one 429 and its
+// samples are dropped (no retry), so the shed rate is stream-level.
+func streamingRun(name, base, model string, cfg RunConfig, events []string) (RunStats, error) {
+	stats := RunStats{Name: name, Mode: "http"}
+	bodies := make([][]string, cfg.Sessions)
+	for i := range bodies {
+		bodies[i] = sessionBodies(cfg.Seed, i, events, cfg.SamplesPerSession, cfg.Batch)
+	}
+	client := &http.Client{Transport: &http.Transport{
+		MaxIdleConns:        cfg.Concurrency * 2,
+		MaxIdleConnsPerHost: cfg.Concurrency * 2,
+	}}
+	defer client.CloseIdleConnections()
+
+	type workerOut struct {
+		latencies []float64
+		samples   int
+		requests  int
+		shed      int
+		errors    int
+	}
+	outs := make([]workerOut, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			o := &outs[w]
+			needle := []byte(`"instant_w"`)
+			var respBuf bytes.Buffer
+			for s := w; s < cfg.Sessions; s += cfg.Concurrency {
+				url := fmt.Sprintf("%s/v1/estimate?model=%s&session=ld-%d", base, model, s)
+				pr, pw := io.Pipe()
+				go func(batches []string) {
+					for k, b := range batches {
+						if k > 0 {
+							time.Sleep(streamPace)
+						}
+						if _, err := pw.Write([]byte(b)); err != nil {
+							return // stream refused or torn down
+						}
+					}
+					pw.Close()
+				}(bodies[s])
+				t0 := time.Now()
+				resp, err := client.Post(url, "application/x-ndjson", pr)
+				if err != nil {
+					pr.CloseWithError(err)
+					o.errors++
+					continue
+				}
+				if resp.StatusCode != http.StatusOK {
+					// Unblock the feeder; the request is already decided.
+					pr.CloseWithError(fmt.Errorf("stream refused: %s", resp.Status))
+				}
+				respBuf.Reset()
+				_, rerr := respBuf.ReadFrom(resp.Body)
+				resp.Body.Close()
+				d := time.Since(t0).Seconds()
+				switch {
+				case resp.StatusCode == http.StatusOK && rerr == nil:
+					o.latencies = append(o.latencies, d)
+					o.requests++
+					o.samples += bytes.Count(respBuf.Bytes(), needle)
+				case resp.StatusCode == http.StatusTooManyRequests || resp.StatusCode == http.StatusServiceUnavailable:
+					o.shed++
+				default:
+					o.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	stats.DurationS = time.Since(start).Seconds()
+
+	var lat []float64
+	for i := range outs {
+		lat = append(lat, outs[i].latencies...)
+		stats.Samples += outs[i].samples
+		stats.Requests += outs[i].requests
+		stats.Shed += uint64(outs[i].shed)
+		stats.Errors += outs[i].errors
+	}
+	sort.Float64s(lat)
+	stats.ThroughputSPS = float64(stats.Samples) / stats.DurationS
+	stats.P50MS = quantile(lat, 0.50) * 1e3
+	stats.P99MS = quantile(lat, 0.99) * 1e3
+	if total := float64(stats.Requests) + float64(stats.Shed); total > 0 {
+		stats.ShedRate = float64(stats.Shed) / total
+	}
+	if stats.Errors > 0 {
+		return stats, fmt.Errorf("run %s: %d request errors", name, stats.Errors)
+	}
+	return stats, nil
+}
+
+// selfhost spins up an in-process pmcpowerd serving one freshly
+// calibrated model named "m" and runs fn against it.
+func selfhost(cfg RunConfig, scfg serve.Config, fn func(base string, events []string) (RunStats, error)) (RunStats, error) {
+	m, err := trainModel(cfg.Seed)
+	if err != nil {
+		return RunStats{}, err
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("m", m); err != nil {
+		return RunStats{}, err
+	}
+	scfg.Registry = reg
+	srv := serve.New(scfg)
+	defer srv.Close()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	var events []string
+	for _, id := range loadgenEvents() {
+		events = append(events, pmu.Lookup(id).Name)
+	}
+	return fn(ts.URL, events)
+}
+
+func runHTTPMode(cfg RunConfig, addr, model string, legacy bool) (RunStats, error) {
+	if addr != "" {
+		events, err := liveEvents(addr, model)
+		if err != nil {
+			return RunStats{}, err
+		}
+		return httpRun("live-http", strings.TrimRight(addr, "/"), model, cfg, events, false)
+	}
+	name := "sharded-http"
+	if legacy {
+		name = "legacy-http"
+	}
+	return selfhost(cfg, serve.Config{LegacyServing: legacy}, func(base string, events []string) (RunStats, error) {
+		return httpRun(name, base, "m", cfg, events, legacy)
+	})
+}
+
+// liveEvents asks a running daemon which events its model wants, so
+// generated samples cover them.
+func liveEvents(addr, model string) ([]string, error) {
+	resp, err := http.Get(strings.TrimRight(addr, "/") + "/v1/models")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var infos []serve.ModelInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, fmt.Errorf("decoding /v1/models: %w", err)
+	}
+	name := strings.SplitN(model, "@", 2)[0]
+	for i := len(infos) - 1; i >= 0; i-- {
+		if name == "" || infos[i].Name == name {
+			return infos[i].Events, nil
+		}
+	}
+	return nil, fmt.Errorf("no model %q registered at %s", model, addr)
+}
+
+// --- engine load ------------------------------------------------------
+
+// runEngineMode measures the serving core without sockets or JSON:
+// concurrent goroutines pushing pre-built samples through
+// Server.EstimateSample — admission, registry, sessions, and metrics
+// included, transport excluded.
+func runEngineMode(cfg RunConfig) (RunStats, error) {
+	m, err := trainModel(cfg.Seed)
+	if err != nil {
+		return RunStats{}, err
+	}
+	reg := serve.NewRegistry()
+	if _, err := reg.Add("m", m); err != nil {
+		return RunStats{}, err
+	}
+	srv := serve.New(serve.Config{Registry: reg})
+	defer srv.Close()
+
+	// Pre-build each session's samples outside the clock.
+	events := loadgenEvents()
+	sessionSamples := make([][]core.CounterSample, cfg.Sessions)
+	freqs := []int{2000, 2400}
+	for s := range sessionSamples {
+		r := rng.Stream(cfg.Seed, uint64(s)+1)
+		rows := make([]core.CounterSample, cfg.SamplesPerSession)
+		for j := range rows {
+			rates := make(map[pmu.EventID]float64, len(events))
+			for _, id := range events {
+				rates[id] = 0.01 + 0.5*r.Float64()
+			}
+			rows[j] = core.CounterSample{
+				TimeNs:   uint64(j+1) * 1_000_000,
+				FreqMHz:  freqs[r.Intn(len(freqs))],
+				VoltageV: 1.05 + 0.1*r.Float64(),
+				Rates:    rates,
+			}
+		}
+		sessionSamples[s] = rows
+	}
+
+	stats := RunStats{Name: "engine", Mode: "engine"}
+	lats := make([][]float64, cfg.Concurrency)
+	errCh := make(chan error, cfg.Concurrency)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Concurrency; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lat := make([]float64, 0, cfg.SamplesPerSession)
+			for s := w; s < cfg.Sessions; s += cfg.Concurrency {
+				sid := fmt.Sprintf("ld-%d", s)
+				for _, cs := range sessionSamples[s] {
+					t0 := time.Now()
+					if _, err := srv.EstimateSample("m", sid, cs); err != nil {
+						errCh <- fmt.Errorf("session %s: %w", sid, err)
+						return
+					}
+					lat = append(lat, time.Since(t0).Seconds())
+				}
+			}
+			lats[w] = lat
+		}(w)
+	}
+	wg.Wait()
+	stats.DurationS = time.Since(start).Seconds()
+	close(errCh)
+	for err := range errCh {
+		return stats, err
+	}
+
+	var all []float64
+	for _, l := range lats {
+		all = append(all, l...)
+	}
+	sort.Float64s(all)
+	stats.Samples = len(all)
+	stats.ThroughputSPS = float64(stats.Samples) / stats.DurationS
+	stats.P50MS = quantile(all, 0.50) * 1e3
+	stats.P99MS = quantile(all, 0.99) * 1e3
+	return stats, nil
+}
+
+// --- compare mode -----------------------------------------------------
+
+// medianOf runs one leg cfg.Repeat times and keeps the run with
+// median throughput, damping noisy-neighbor interference without
+// cherry-picking a best case.
+func medianOf(cfg RunConfig, leg func() (RunStats, error)) (RunStats, error) {
+	n := cfg.Repeat
+	if n < 1 {
+		n = 1
+	}
+	runs := make([]RunStats, 0, n)
+	for i := 0; i < n; i++ {
+		r, err := leg()
+		if err != nil {
+			return r, err
+		}
+		runs = append(runs, r)
+	}
+	sort.Slice(runs, func(i, j int) bool { return runs[i].ThroughputSPS < runs[j].ThroughputSPS })
+	return runs[len(runs)/2], nil
+}
+
+// runCompare produces the BENCH_7 document: the legacy serving path
+// vs the sharded one on identical traffic, an overload leg with the
+// admission gate engaged, and the in-process engine measurement.
+func runCompare(cfg RunConfig) ([]RunStats, *Comparison, error) {
+	legacy, err := medianOf(cfg, func() (RunStats, error) {
+		return selfhost(cfg, serve.Config{LegacyServing: true}, func(base string, events []string) (RunStats, error) {
+			return httpRun("legacy-http", base, "m", cfg, events, true)
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	sharded, err := medianOf(cfg, func() (RunStats, error) {
+		return selfhost(cfg, serve.Config{}, func(base string, events []string) (RunStats, error) {
+			return httpRun("sharded-http", base, "m", cfg, events, false)
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	// Overload leg: long-lived concurrent streams (the fleet's actual
+	// traffic shape — a request per session held open while samples
+	// trickle) against an in-flight cap far below the offered
+	// concurrency. Excess streams are refused at admit with 429 and
+	// Retry-After instead of all N multiplexing into unbounded
+	// per-stream latency, so the admitted streams' p99 stays bounded
+	// and the refusals show up as the shed rate.
+	maxInflight := cfg.Concurrency / 16
+	if maxInflight < 1 {
+		maxInflight = 1
+	}
+	overCfg := serve.Config{MaxInFlight: maxInflight}
+	overload, err := medianOf(cfg, func() (RunStats, error) {
+		return selfhost(cfg, overCfg, func(base string, events []string) (RunStats, error) {
+			return streamingRun("overload-shedding", base, "m", cfg, events)
+		})
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	engine, err := medianOf(cfg, func() (RunStats, error) { return runEngineMode(cfg) })
+	if err != nil {
+		return nil, nil, err
+	}
+	runs := []RunStats{legacy, sharded, overload, engine}
+	cmp := &Comparison{
+		Baseline:  "legacy-http",
+		Candidate: "sharded-http",
+		Speedup:   sharded.ThroughputSPS / legacy.ThroughputSPS,
+	}
+	return runs, cmp, nil
+}
+
+// --- report validation ------------------------------------------------
+
+// validateReport strict-decodes a loadgen report and checks its
+// invariants; CI runs it over the smoke report and the committed
+// BENCH_7.json so the schema cannot drift silently.
+func validateReport(path string) error {
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	dec := json.NewDecoder(strings.NewReader(string(raw)))
+	dec.DisallowUnknownFields()
+	var rep Report
+	if err := dec.Decode(&rep); err != nil {
+		return fmt.Errorf("strict decode: %w", err)
+	}
+	if rep.Schema != schemaV1 {
+		return fmt.Errorf("schema = %q, want %q", rep.Schema, schemaV1)
+	}
+	if rep.Machine == "" || rep.Generated == "" {
+		return fmt.Errorf("machine/generated metadata missing")
+	}
+	if len(rep.Runs) == 0 {
+		return fmt.Errorf("no runs")
+	}
+	names := make(map[string]bool, len(rep.Runs))
+	for _, r := range rep.Runs {
+		if r.Name == "" {
+			return fmt.Errorf("run with empty name")
+		}
+		if names[r.Name] {
+			return fmt.Errorf("duplicate run %q", r.Name)
+		}
+		names[r.Name] = true
+		if r.Mode != "http" && r.Mode != "engine" {
+			return fmt.Errorf("run %s: mode = %q", r.Name, r.Mode)
+		}
+		if r.Samples <= 0 || r.DurationS <= 0 || r.ThroughputSPS <= 0 {
+			return fmt.Errorf("run %s: non-positive sample/duration/throughput", r.Name)
+		}
+		if r.P99MS < r.P50MS {
+			return fmt.Errorf("run %s: p99 %.3f < p50 %.3f", r.Name, r.P99MS, r.P50MS)
+		}
+		if r.ShedRate < 0 || r.ShedRate > 1 {
+			return fmt.Errorf("run %s: shed_rate = %v", r.Name, r.ShedRate)
+		}
+		if r.Errors != 0 {
+			return fmt.Errorf("run %s: %d errors recorded", r.Name, r.Errors)
+		}
+	}
+	if c := rep.Comparison; c != nil {
+		if !names[c.Baseline] || !names[c.Candidate] {
+			return fmt.Errorf("comparison references unknown runs %q/%q", c.Baseline, c.Candidate)
+		}
+		if c.Speedup <= 0 {
+			return fmt.Errorf("comparison speedup = %v", c.Speedup)
+		}
+	}
+	return nil
+}

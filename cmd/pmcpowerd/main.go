@@ -77,6 +77,12 @@ func main() {
 	refitWindow := flag.Int("refit-window", 0, "default streaming-refit window (rows) for labelled estimate streams; 0 serves frozen models (per-stream ?refit= overrides)")
 	idleTTL := flag.Duration("idle-ttl", 5*time.Minute, "evict estimator sessions idle this long")
 	maxSessions := flag.Int("max-sessions", 1024, "cap on concurrent estimator sessions")
+	shards := flag.Int("shards", 8, "session-table shard count (rounded up to a power of two); 1 restores the single-lock table")
+	maxInflight := flag.Int("max-inflight", 0, "cap on concurrently admitted estimate/predict requests; beyond it requests are shed with 429 (0 disables)")
+	shedP99MS := flag.Float64("shed-p99-ms", 0, "shed estimate/predict requests with 503 while the p99 latency EWMA exceeds this many milliseconds (0 disables)")
+	retryAfter := flag.Duration("retry-after", time.Second, "Retry-After backoff hint stamped on shed (429/503) responses")
+	maxBodyBytes := flag.Int64("max-body-bytes", 8<<20, "cap on /v1/predict and model-upload request bodies (413 beyond)")
+	legacyServing := flag.Bool("legacy-serving", false, "serve with the pre-sharding code path (single-lock sessions, per-sample flush); the loadtest baseline")
 	qualityWindow := flag.Int("quality-window", 256, "sliding-window size (labelled samples) for model-quality tracking")
 	qualityExemplars := flag.Int("quality-exemplars", 32, "worst-residual samples kept per model for /debug/exemplars")
 	warnMAPE := flag.Float64("quality-warn-mape", 10, "windowed MAPE %% that moves a model to drift warn (negative disables)")
@@ -109,6 +115,12 @@ func main() {
 		refitWindow:      *refitWindow,
 		idleTTL:          *idleTTL,
 		maxSessions:      *maxSessions,
+		shards:           *shards,
+		maxInflight:      *maxInflight,
+		shedP99:          time.Duration(*shedP99MS * float64(time.Millisecond)),
+		retryAfter:       *retryAfter,
+		maxBodyBytes:     *maxBodyBytes,
+		legacyServing:    *legacyServing,
 		qualityWindow:    *qualityWindow,
 		qualityExemplars: *qualityExemplars,
 		warnMAPE:         *warnMAPE,
@@ -135,6 +147,12 @@ type options struct {
 	refitWindow      int
 	idleTTL          time.Duration
 	maxSessions      int
+	shards           int
+	maxInflight      int
+	shedP99          time.Duration
+	retryAfter       time.Duration
+	maxBodyBytes     int64
+	legacyServing    bool
 	qualityWindow    int
 	qualityExemplars int
 	warnMAPE         float64
@@ -179,6 +197,12 @@ func run(logger *slog.Logger, opts options) error {
 		RefitWindow:      opts.refitWindow,
 		IdleTTL:          opts.idleTTL,
 		MaxSessions:      opts.maxSessions,
+		Shards:           opts.shards,
+		MaxInFlight:      opts.maxInflight,
+		ShedP99:          opts.shedP99,
+		RetryAfter:       opts.retryAfter,
+		MaxBodyBytes:     opts.maxBodyBytes,
+		LegacyServing:    opts.legacyServing,
 		Obs:              obs.Default(),
 		Logger:           logger,
 		Tracer:           tracer,

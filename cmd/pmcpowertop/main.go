@@ -136,6 +136,31 @@ func validateStatus(s serve.StatusResponse) error {
 		return fmt.Errorf("servable_models = %d but %d model names listed",
 			s.Health.ServableModels, len(modelNames(s.Models)))
 	}
+	if s.Sessions.Shards < 1 {
+		return fmt.Errorf("sessions.shards = %d, want >= 1", s.Sessions.Shards)
+	}
+	if s.Sessions.Shards&(s.Sessions.Shards-1) != 0 {
+		return fmt.Errorf("sessions.shards = %d, want a power of two", s.Sessions.Shards)
+	}
+	if len(s.Sessions.PerShard) != s.Sessions.Shards {
+		return fmt.Errorf("per_shard has %d entries for %d shards", len(s.Sessions.PerShard), s.Sessions.Shards)
+	}
+	perShard := 0
+	for i, n := range s.Sessions.PerShard {
+		if n < 0 {
+			return fmt.Errorf("per_shard[%d] = %d", i, n)
+		}
+		perShard += n
+	}
+	if perShard != s.Sessions.Active {
+		return fmt.Errorf("per_shard sums to %d but active = %d", perShard, s.Sessions.Active)
+	}
+	if s.Admission.InFlight < 0 || s.Admission.MaxInFlight < 0 || s.Admission.ShedP99MS < 0 || s.Admission.P99EwmaMS < 0 {
+		return fmt.Errorf("admission block has negative fields: %+v", s.Admission)
+	}
+	if !s.Admission.Enabled && (s.Admission.Shedding || s.Admission.ShedTotal != 0) {
+		return fmt.Errorf("admission disabled but shedding state set: %+v", s.Admission)
+	}
 	for _, q := range s.Quality {
 		switch q.State {
 		case "ok", "warn", "alert":
@@ -254,6 +279,23 @@ func renderRequests(r serve.RequestsResponse) string {
 	return sb.String()
 }
 
+// shardBars renders the per-shard session counts as a compact
+// " [2 0 1 …]" suffix, elided when every shard is empty.
+func shardBars(perShard []int) string {
+	total := 0
+	for _, n := range perShard {
+		total += n
+	}
+	if total == 0 {
+		return ""
+	}
+	parts := make([]string, len(perShard))
+	for i, n := range perShard {
+		parts[i] = fmt.Sprintf("%d", n)
+	}
+	return ": [" + strings.Join(parts, " ") + "]"
+}
+
 func modelNames(models []serve.ModelInfo) map[string]bool {
 	names := make(map[string]bool)
 	for _, m := range models {
@@ -271,8 +313,26 @@ func render(s serve.StatusResponse) string {
 		fmt.Fprintf(&sb, " [%s]", strings.Join(s.Health.AlertingModels, ", "))
 	}
 	sb.WriteByte('\n')
-	fmt.Fprintf(&sb, "models: %d   sessions: %d active, %d created, %d evicted\n\n",
-		s.Health.ServableModels, s.Sessions.Active, s.Sessions.Created, s.Sessions.Evicted)
+	fmt.Fprintf(&sb, "models: %d   sessions: %d active, %d created, %d evicted (%d shards%s)\n",
+		s.Health.ServableModels, s.Sessions.Active, s.Sessions.Created, s.Sessions.Evicted,
+		s.Sessions.Shards, shardBars(s.Sessions.PerShard))
+	if s.Admission.Enabled {
+		state := "open"
+		if s.Admission.Shedding {
+			state = "SHEDDING"
+		}
+		fmt.Fprintf(&sb, "admission: %s   in-flight %d", state, s.Admission.InFlight)
+		if s.Admission.MaxInFlight > 0 {
+			fmt.Fprintf(&sb, "/%d", s.Admission.MaxInFlight)
+		}
+		if s.Admission.ShedP99MS > 0 {
+			fmt.Fprintf(&sb, "   p99 EWMA %.2f ms (shed > %.2f ms)", s.Admission.P99EwmaMS, s.Admission.ShedP99MS)
+		}
+		fmt.Fprintf(&sb, "   shed %d\n", s.Admission.ShedTotal)
+	} else {
+		fmt.Fprintf(&sb, "admission: disabled   in-flight %d\n", s.Admission.InFlight)
+	}
+	sb.WriteByte('\n')
 
 	fmt.Fprintf(&sb, "%-16s %-6s %6s %8s %9s %8s %8s %8s %9s %5s %6s %5s\n",
 		"MODEL", "STATE", "N", "MAPE%", "BIAS W", "P50 W", "P95 W", "P99 W", "LABELLED", "WARN", "ALERT", "EXMP")

@@ -253,6 +253,71 @@ func (s HistogramSnapshot) Quantile(q float64) (float64, bool) {
 	return 0, false
 }
 
+// StripedHistogram is a Histogram split across independently locked
+// stripes so concurrent observers on different stripes never contend.
+// It registers and renders as one histogram family — stripe counts are
+// merged at snapshot/render time, so the exposition is byte-identical
+// to a single histogram fed the same observations. The serving layer
+// stripes its per-sample estimate-latency histogram by session shard.
+type StripedHistogram struct {
+	stripes []*Histogram
+}
+
+// Observe records one value on stripe i (taken modulo the stripe
+// count, so any non-negative shard index is a valid stripe).
+func (h *StripedHistogram) Observe(i int, v float64) {
+	h.stripes[uint(i)%uint(len(h.stripes))].Observe(v)
+}
+
+// Stripes returns the stripe count.
+func (h *StripedHistogram) Stripes() int { return len(h.stripes) }
+
+// Snapshot returns a merged copy of all stripes. Stripes are locked
+// one at a time, so the merge is consistent per stripe but not across
+// stripes — the same guarantee a scrape of independent series gives.
+func (h *StripedHistogram) Snapshot() HistogramSnapshot {
+	out := HistogramSnapshot{Bounds: h.stripes[0].bounds}
+	out.Counts = make([]uint64, len(out.Bounds)+1)
+	for _, s := range h.stripes {
+		snap := s.Snapshot()
+		for i, c := range snap.Counts {
+			out.Counts[i] += c
+		}
+		out.Sum += snap.Sum
+		out.Count += snap.Count
+	}
+	return out
+}
+
+// Count returns the merged observation count.
+func (h *StripedHistogram) Count() uint64 { return h.Snapshot().Count }
+
+// Quantile estimates the q-quantile of the merged distribution; see
+// (*Histogram).Quantile.
+func (h *StripedHistogram) Quantile(q float64) (float64, bool) {
+	return h.Snapshot().Quantile(q)
+}
+
+// StripedHistogram returns the striped histogram registered under name
+// with the given labels, creating it with the given bounds and stripe
+// count (minimum 1) on first use. Like all registrations it is
+// idempotent; the first registration's stripe count wins.
+func (r *Registry) StripedHistogram(name, help string, bounds []float64, stripes int, labels ...Label) *StripedHistogram {
+	if bounds == nil {
+		bounds = LatencyBuckets
+	}
+	if stripes < 1 {
+		stripes = 1
+	}
+	return register(r, name, help, "histogram", labels, func() *StripedHistogram {
+		sh := &StripedHistogram{stripes: make([]*Histogram, stripes)}
+		for i := range sh.stripes {
+			sh.stripes[i] = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		}
+		return sh
+	})
+}
+
 // Counter returns the counter registered under name with the given
 // labels, creating it on first use.
 func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
@@ -393,7 +458,9 @@ func (r *Registry) WriteTo(w io.Writer) (int64, error) {
 			case gaugeFunc:
 				fmt.Fprintf(&sb, "%s%s %s\n", f.name, renderLabels(s.sig), formatFloat(c()))
 			case *Histogram:
-				renderHistogram(&sb, f.name, s.sig, c)
+				renderHistogram(&sb, f.name, s.sig, c.Snapshot())
+			case *StripedHistogram:
+				renderHistogram(&sb, f.name, s.sig, c.Snapshot())
 			}
 		}
 	}
@@ -408,20 +475,16 @@ func renderLabels(sig string) string {
 	return "{" + sig + "}"
 }
 
-func renderHistogram(sb *strings.Builder, name, sig string, h *Histogram) {
-	h.mu.Lock()
-	counts := append([]uint64(nil), h.counts...)
-	sum, count := h.sum, h.count
-	h.mu.Unlock()
+func renderHistogram(sb *strings.Builder, name, sig string, snap HistogramSnapshot) {
 	cum := uint64(0)
-	for i, bound := range h.bounds {
-		cum += counts[i]
+	for i, bound := range snap.Bounds {
+		cum += snap.Counts[i]
 		fmt.Fprintf(sb, "%s_bucket%s %d\n", name, renderLabels(joinSig(sig, fmt.Sprintf("le=%q", formatFloat(bound)))), cum)
 	}
-	cum += counts[len(h.bounds)]
+	cum += snap.Counts[len(snap.Bounds)]
 	fmt.Fprintf(sb, "%s_bucket%s %d\n", name, renderLabels(joinSig(sig, `le="+Inf"`)), cum)
-	fmt.Fprintf(sb, "%s_sum%s %s\n", name, renderLabels(sig), formatFloat(sum))
-	fmt.Fprintf(sb, "%s_count%s %d\n", name, renderLabels(sig), count)
+	fmt.Fprintf(sb, "%s_sum%s %s\n", name, renderLabels(sig), formatFloat(snap.Sum))
+	fmt.Fprintf(sb, "%s_count%s %d\n", name, renderLabels(sig), snap.Count)
 }
 
 func joinSig(sig, extra string) string {

@@ -25,7 +25,7 @@ var allRejectReasons = []string{
 	serve.ReasonParse, serve.ReasonUnknownEv, serve.ReasonMissingEv,
 	serve.ReasonBadRate, serve.ReasonBadOperPt, serve.ReasonOutOfOrder,
 	serve.ReasonOversized, serve.ReasonSessionCap, serve.ReasonSessionBusy,
-	serve.ReasonBadPower,
+	serve.ReasonBadPower, serve.ReasonShedInflight, serve.ReasonShedP99,
 }
 
 func totalRejected(fx *serveFixture) uint64 {
@@ -50,6 +50,7 @@ func Builtin() []Scenario {
 		MalformedClientFlood(),
 		QualityDegradation(),
 		SlowRequestCapture(),
+		OverloadShedding(),
 	}
 }
 
@@ -1130,6 +1131,236 @@ func QualityDegradation() Scenario {
 			if fx != nil {
 				fx.close()
 			}
+		},
+	}
+}
+
+// OverloadShedding drives the admission gate through its three
+// regimes: a saturated in-flight cap refuses overflow with 429 and a
+// Retry-After hint while held streams occupy every slot, an
+// unreachable p99 target sheds with 503 once the latency EWMA is
+// primed, and a server with both knobs unset reproduces the legacy
+// admit-everything behavior byte for byte.
+func OverloadShedding() Scenario {
+	const inflightCap = 2
+	var (
+		fx *serveFixture
+		// counters captured from the capped and latency fixtures
+		// before each is torn down
+		cappedShed429  uint64
+		cappedRejected uint64
+		retryAfter     string
+		p99Shed503     uint64
+		sheddingSeen   bool
+		panicsSeen     []string
+	)
+	closeFixture := func() {
+		if fx != nil {
+			panicsSeen = append(panicsSeen, fx.plog.panics()...)
+			fx.close()
+			fx = nil
+		}
+	}
+	return Scenario{
+		Name:        "overload-shedding",
+		Description: "Admission control under overload: in-flight cap sheds 429 + Retry-After, p99 target sheds 503, disabled knobs admit everything",
+		Steps: []Step{
+			{Name: "start-capped-server", Run: func(ctx *Context) error {
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{
+					MaxInFlight: inflightCap,
+					RetryAfter:  2 * time.Second,
+				})
+				return err
+			}},
+			{Name: "saturate-and-overflow", Run: func(ctx *Context) error {
+				// Fill every admission slot with a held stream, then
+				// overflow: the extra stream must be refused up front.
+				var held []*heldStream
+				defer func() {
+					for _, h := range held {
+						h.release()
+					}
+				}()
+				for i := 0; i < inflightCap; i++ {
+					h, err := openHeldStream(fx.ts,
+						fmt.Sprintf("?model=m&session=hold-%d", i),
+						rowLine(ctx.Env.Rows[i], 1_000_000))
+					if err != nil {
+						return fmt.Errorf("holding stream %d: %w", i, err)
+					}
+					held = append(held, h)
+				}
+				res, err := streamLines(fx.ts, "?model=m&session=overflow",
+					[]string{rowLine(ctx.Env.Rows[inflightCap], 1_000_000)})
+				if err != nil {
+					return err
+				}
+				if res.status != 429 {
+					return fmt.Errorf("overflow stream got %d, want 429", res.status)
+				}
+				if len(res.errors) != 1 || res.errors[0].Reason != serve.ReasonShedInflight {
+					return fmt.Errorf("overflow not labelled %s: %+v", serve.ReasonShedInflight, res.errors)
+				}
+				retryAfter = res.retryAfter
+				st, err := fx.status()
+				if err != nil {
+					return err
+				}
+				if st.Admission.InFlight != inflightCap {
+					return fmt.Errorf("in_flight %d while saturated, want %d", st.Admission.InFlight, inflightCap)
+				}
+				ctx.Logf("saturated at %d in flight; overflow shed with Retry-After=%s", st.Admission.InFlight, retryAfter)
+				return nil
+			}},
+			{Name: "recovers-after-drain", Run: func(ctx *Context) error {
+				// Slots were released by the previous step's defer; the
+				// same request is now admitted.
+				res, err := streamLines(fx.ts, "?model=m&session=overflow",
+					[]string{rowLine(ctx.Env.Rows[inflightCap], 2_000_000)})
+				if err != nil {
+					return err
+				}
+				if res.status != 200 || len(res.estimates) != 1 {
+					return fmt.Errorf("post-drain stream got %d with %d estimates, want 200 with 1",
+						res.status, len(res.estimates))
+				}
+				cappedShed429 = fx.srv.Metrics().ShedCount("/v1/estimate", serve.ReasonShedInflight)
+				cappedRejected = fx.srv.Metrics().Rejected(serve.ReasonShedInflight)
+				closeFixture()
+				return nil
+			}},
+			{Name: "start-latency-shed-server", Run: func(ctx *Context) error {
+				// A 1ns p99 target no real request can meet: the gate
+				// must flip to shedding as soon as the EWMA is primed.
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{
+					ShedP99:         time.Nanosecond,
+					ShedSampleEvery: 2,
+					RetryAfter:      time.Second,
+				})
+				return err
+			}},
+			{Name: "prime-then-shed-503", Run: func(ctx *Context) error {
+				for attempt := 0; attempt < 20; attempt++ {
+					res, err := streamLines(fx.ts,
+						fmt.Sprintf("?model=m&session=prime-%d", attempt),
+						[]string{rowLine(ctx.Env.Rows[attempt%len(ctx.Env.Rows)], 1_000_000)})
+					if err != nil {
+						return err
+					}
+					if res.status != 503 {
+						continue
+					}
+					if len(res.errors) != 1 || res.errors[0].Reason != serve.ReasonShedP99 {
+						return fmt.Errorf("503 not labelled %s: %+v", serve.ReasonShedP99, res.errors)
+					}
+					if res.retryAfter == "" {
+						return fmt.Errorf("503 shed response missing Retry-After")
+					}
+					st, err := fx.status()
+					if err != nil {
+						return err
+					}
+					sheddingSeen = st.Admission.Shedding
+					p99Shed503 = fx.srv.Metrics().ShedCount("/v1/estimate", serve.ReasonShedP99)
+					ctx.Logf("p99 shedding engaged after %d admitted streams (ewma %.3fms)",
+						attempt, st.Admission.P99EwmaMS)
+					closeFixture()
+					return nil
+				}
+				return fmt.Errorf("p99 shedding never engaged in 20 streams")
+			}},
+			{Name: "start-open-server-and-flood", Run: func(ctx *Context) error {
+				// Both knobs unset: the gate is disabled and the same
+				// overload shape — held streams plus a burst — admits
+				// everything, exactly like the pre-admission server.
+				var err error
+				fx, err = startServe(ctx.Env, serve.Config{})
+				if err != nil {
+					return err
+				}
+				var held []*heldStream
+				defer func() {
+					for _, h := range held {
+						h.release()
+					}
+				}()
+				for i := 0; i < inflightCap; i++ {
+					h, err := openHeldStream(fx.ts,
+						fmt.Sprintf("?model=m&session=hold-%d", i),
+						rowLine(ctx.Env.Rows[i], 1_000_000))
+					if err != nil {
+						return fmt.Errorf("holding stream %d: %w", i, err)
+					}
+					held = append(held, h)
+				}
+				for i := 0; i < 8; i++ {
+					lines := make([]string, 0, 16)
+					for j := 0; j < 16; j++ {
+						r := ctx.Env.Rows[(i*16+j)%len(ctx.Env.Rows)]
+						lines = append(lines, rowLine(r, uint64(j+1)*1_000_000))
+					}
+					res, err := streamLines(fx.ts, fmt.Sprintf("?model=m&session=open-%d", i), lines)
+					if err != nil {
+						return err
+					}
+					if res.status != 200 || len(res.estimates) != len(lines) {
+						return fmt.Errorf("open stream %d got %d with %d estimates, want 200 with %d",
+							i, res.status, len(res.estimates), len(lines))
+					}
+					ctx.M.Add("open_samples_served", float64(len(res.estimates)))
+				}
+				return nil
+			}},
+		},
+		Checkpoints: []Checkpoint{
+			{Name: "inflight-cap-shed-429-with-retry-after", Check: func(ctx *Context) error {
+				if cappedShed429 < 1 || cappedRejected < 1 {
+					return fmt.Errorf("shed counters %d/%d, want >= 1 on both surfaces", cappedShed429, cappedRejected)
+				}
+				if retryAfter != "2" {
+					return fmt.Errorf("Retry-After %q, want %q", retryAfter, "2")
+				}
+				return nil
+			}},
+			{Name: "p99-shed-503-while-shedding", Check: func(ctx *Context) error {
+				if p99Shed503 < 1 {
+					return fmt.Errorf("shed_p99 count %d, want >= 1", p99Shed503)
+				}
+				if !sheddingSeen {
+					return fmt.Errorf("/v1/status never reported shedding=true")
+				}
+				return nil
+			}},
+			{Name: "disabled-gate-admits-everything", Check: func(ctx *Context) error {
+				if got := ctx.M.Count("open_samples_served"); got != 8*16 {
+					return fmt.Errorf("open server served %.0f samples, want %d", got, 8*16)
+				}
+				if n := totalRejected(fx); n != 0 {
+					return fmt.Errorf("%d samples rejected with the gate disabled", n)
+				}
+				if st, err := fx.status(); err != nil {
+					return err
+				} else if st.Admission.Enabled || st.Admission.ShedTotal != 0 {
+					return fmt.Errorf("disabled gate reports enabled=%v shed_total=%d", st.Admission.Enabled, st.Admission.ShedTotal)
+				}
+				return nil
+			}},
+			{Name: "healthz", Check: func(ctx *Context) error { return healthErr(fx) }},
+			{Name: "zero-handler-panics", Check: func(ctx *Context) error {
+				all := panicsSeen
+				if fx != nil {
+					all = append(all, fx.plog.panics()...)
+				}
+				if len(all) > 0 {
+					return fmt.Errorf("http server logged %d panics: %s", len(all), all[0])
+				}
+				return nil
+			}},
+		},
+		Cleanup: func(ctx *Context) {
+			closeFixture()
 		},
 	}
 }

@@ -112,9 +112,7 @@ func (f *serveFixture) estimatesServed() float64 {
 // pushLatencyP99 estimates the p99 of the server's per-sample push
 // latency histogram, in seconds.
 func (f *serveFixture) pushLatencyP99() (float64, bool) {
-	h := f.srv.Metrics().Registry().Histogram("pmcpowerd_estimate_latency_seconds",
-		"Per-sample estimator push latency.", nil)
-	return h.Quantile(0.99)
+	return f.srv.Metrics().EstimateLatencyQuantile(0.99)
 }
 
 // healthy probes /healthz.
@@ -279,11 +277,13 @@ func counterSample(r *acquisition.Row, timeNs uint64) core.CounterSample {
 }
 
 // streamResult is one NDJSON exchange: the HTTP status, the decoded
-// estimate lines, and the decoded mid-stream error records.
+// estimate lines, the decoded mid-stream error records, and the
+// Retry-After backoff hint (empty unless the request was shed).
 type streamResult struct {
-	status    int
-	estimates []wireOut
-	errors    []wireOut
+	status     int
+	retryAfter string
+	estimates  []wireOut
+	errors     []wireOut
 }
 
 // streamLines POSTs lines as one NDJSON request and decodes every
@@ -313,7 +313,7 @@ func streamLinesTraced(ts *httptest.Server, query, traceparent string, lines []s
 		return streamResult{}, fmt.Errorf("scenario: stream transport: %w", err)
 	}
 	defer resp.Body.Close()
-	out := streamResult{status: resp.StatusCode}
+	out := streamResult{status: resp.StatusCode, retryAfter: resp.Header.Get("Retry-After")}
 	// Rejections and empty-body totals come back as one indented JSON
 	// object (Content-Type application/json); only live streams are
 	// NDJSON.

@@ -1,0 +1,284 @@
+package serve
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+)
+
+// The fast NDJSON parse/encode paths promise byte-identity with the
+// encoding/json routes: they either reproduce the exact bytes and
+// semantics or bail so the slow path answers. These tests pin that
+// contract — first at the wire (a legacy server and a fast server
+// must return identical bodies for a gauntlet of edge-case inputs),
+// then at the unit level for the float formatter and number scanner,
+// whose corner cases are easiest to hit directly.
+
+// ratesJSON renders a row's full rate map as a JSON object fragment.
+func ratesJSON(t *testing.T, r *acquisition.Row) string {
+	t.Helper()
+	rates := make(map[string]float64, len(r.Rates))
+	for id, v := range r.Rates {
+		rates[pmu.Lookup(id).Name] = v
+	}
+	b, err := json.Marshal(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func TestFastPathWireEquivalence(t *testing.T) {
+	m, rows := fixture(t)
+	fixedNow := func() time.Time { return time.Unix(1_700_000_000, 0) }
+
+	newSrv := func(cfg Config) *httptest.Server {
+		cfg.Now = fixedNow
+		cfg.Registry = NewRegistry()
+		if _, err := cfg.Registry.Add("m", m); err != nil {
+			t.Fatal(err)
+		}
+		_, ts := newTestServer(t, cfg)
+		return ts
+	}
+	legacy := newSrv(Config{LegacyServing: true})
+	fast := newSrv(Config{})
+
+	rj := ratesJSON(t, rows[0])
+	valid := func(timeNs uint64) string {
+		return fmt.Sprintf(`{"time_ns":%d,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, timeNs, rj)
+	}
+
+	// Each entry is one NDJSON stream (same session name on both
+	// servers, so cross-request state like last-time_ns also agrees).
+	streams := [][]string{
+		// Plain accepted lines, then generous whitespace.
+		{valid(1e6), "  { \"time_ns\" : 2000000 , \"freq_mhz\": 2000, \"voltage_v\": 1.05, \"rates\": " + rj + " }  "},
+		// Empty object: zero operating point, rejected in-stream.
+		{valid(1e6), `{}`, valid(2e6)},
+		// Escaped key spellings force the slow path; result identical.
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, rj)},
+		// Duplicate scalar key: last one wins.
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":900,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, rj)},
+		// Duplicate rates objects merge key-by-key. The overriding key
+		// must reuse the exact spelling from the first object: an alias
+		// (bare name vs PAPI_ prefix) resolves to the same event on both
+		// paths, but which alias wins depends on map iteration order in
+		// the seed's resolver — nondeterministic, so not equivalence
+		// material.
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":2000,"voltage_v":1.05,"rates":%s,"rates":{"PAPI_LST_INS":0.33}}`, rj)},
+		// Unknown top-level field: DisallowUnknownFields error.
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":2000,"voltage_v":1.05,"label":"x","rates":%s}`, rj)},
+		// null leaves the field zero (encoding/json semantics).
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":null,"voltage_v":1.05,"rates":%s}`, rj)},
+		// Number grammar violations and exponent spellings.
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":01,"voltage_v":1.05,"rates":%s}`, rj)},
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":2e3,"voltage_v":1.05,"rates":%s}`, rj)},
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":2.0E+03,"voltage_v":1.05,"rates":%s}`, rj)},
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":.5,"voltage_v":1.05,"rates":%s}`, rj)},
+		// time_ns is uint64: sign, fraction, exponent, overflow all reject.
+		{fmt.Sprintf(`{"time_ns":-1,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, rj)},
+		{fmt.Sprintf(`{"time_ns":1.5,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, rj)},
+		{fmt.Sprintf(`{"time_ns":1e6,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, rj)},
+		{fmt.Sprintf(`{"time_ns":18446744073709551615,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, rj)},
+		{fmt.Sprintf(`{"time_ns":18446744073709551616,"freq_mhz":2000,"voltage_v":1.05,"rates":%s}`, rj)},
+		// Unknown event and non-number rate values.
+		{valid(1e6), `{"time_ns":2000000,"freq_mhz":2000,"voltage_v":1.05,"rates":{"NO_SUCH_EV":1}}`, valid(3e6)},
+		{`{"time_ns":1000000,"freq_mhz":2000,"voltage_v":1.05,"rates":{"LST_INS":"x"}}`},
+		// Labelled sample (power_w present).
+		{fmt.Sprintf(`{"time_ns":1000000,"freq_mhz":2000,"voltage_v":1.05,"power_w":31.25,"rates":%s}`, rj)},
+		// Trailing bytes after the object: Decoder.Decode stops at the
+		// closing brace, so the junk is ignored on both paths.
+		{valid(1e6) + " trailing junk"},
+		// Non-object top level and blank lines.
+		{`[1,2]`},
+		{valid(1e6), "   ", valid(2e6)},
+		// Cache churn on one session: full set, a dropped event
+		// (rejected), the full set again, then the same keys spelled
+		// in a different order — every transition must be invisible.
+		{
+			valid(1e6),
+			`{"time_ns":2000000,"freq_mhz":2000,"voltage_v":1.05,"rates":{"LST_INS":0.4}}`,
+			valid(3e6),
+			"{\"time_ns\":4000000,\"freq_mhz\":2000,\"voltage_v\":1.05,\"rates\":" + reorderedRates(t, rows[0]) + "}",
+			valid(5e6),
+		},
+	}
+
+	do := func(ts *httptest.Server, session, trace string, lines []string) (int, string, []byte) {
+		t.Helper()
+		body := strings.Join(lines, "\n") + "\n"
+		req, err := http.NewRequest(http.MethodPost,
+			ts.URL+"/v1/estimate?model=m&session="+session, strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("Content-Type", "application/x-ndjson")
+		req.Header.Set("traceparent", trace)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, resp.Header.Get("Content-Type"), raw
+	}
+
+	for i, lines := range streams {
+		session := fmt.Sprintf("s%d", i)
+		trace := fmt.Sprintf("00-%032x-%016x-01", i+1, i+1)
+		wantStatus, wantCT, wantBody := do(legacy, session, trace, lines)
+		gotStatus, gotCT, gotBody := do(fast, session, trace, lines)
+		if gotStatus != wantStatus || gotCT != wantCT || !bytes.Equal(gotBody, wantBody) {
+			t.Errorf("stream %d diverges:\n legacy: %d %s %q\n fast:   %d %s %q",
+				i, wantStatus, wantCT, wantBody, gotStatus, gotCT, gotBody)
+		}
+	}
+}
+
+// reorderedRates renders the row's rates with keys in reverse-sorted
+// order — same content as ratesJSON, different byte order, so the
+// fast parser's key-sequence cache must miss and rebuild.
+func reorderedRates(t *testing.T, r *acquisition.Row) string {
+	t.Helper()
+	names := make([]string, 0, len(r.Rates))
+	vals := make(map[string]float64, len(r.Rates))
+	for id, v := range r.Rates {
+		n := pmu.Lookup(id).Name
+		names = append(names, n)
+		vals[n] = v
+	}
+	for i, j := 0, len(names)-1; i < j; i, j = i+1, j-1 {
+		names[i], names[j] = names[j], names[i]
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, `"%s":%v`, n, vals[n])
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func TestAppendJSONFloatMatchesEncodingJSON(t *testing.T) {
+	check := func(f float64) {
+		t.Helper()
+		got, ok := appendJSONFloat(nil, f)
+		want, err := json.Marshal(f)
+		if err != nil {
+			if ok {
+				t.Errorf("appendJSONFloat(%v) ok, but json.Marshal errors: %v", f, err)
+			}
+			return
+		}
+		if !ok {
+			t.Errorf("appendJSONFloat(%v) bailed; json.Marshal produced %s", f, want)
+			return
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("appendJSONFloat(%v) = %s, json.Marshal = %s", f, got, want)
+		}
+	}
+
+	for _, f := range []float64{
+		0, math.Copysign(0, -1), 1, -1, 1.5, 31.25, 1e20, 1e21, 1e22,
+		1e-6, 9.999999e-7, 1e-7, 1e-9, -1e-9, 5e-324, math.MaxFloat64,
+		-math.MaxFloat64, 0.1, 1.0 / 3.0, 1.2345678901234567, 2e3,
+		6.62607015e-34, 123456789012345680000,
+	} {
+		check(f)
+	}
+	if _, ok := appendJSONFloat(nil, math.NaN()); ok {
+		t.Error("appendJSONFloat(NaN) must bail")
+	}
+	if _, ok := appendJSONFloat(nil, math.Inf(1)); ok {
+		t.Error("appendJSONFloat(+Inf) must bail")
+	}
+
+	rng := rand.New(rand.NewSource(7))
+	n := 0
+	for n < 5000 {
+		f := math.Float64frombits(rng.Uint64())
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			continue
+		}
+		check(f)
+		n++
+	}
+}
+
+func TestScanJSONNumberMatchesJSONGrammar(t *testing.T) {
+	cases := []string{
+		"0", "-0", "1", "-1", "01", "00", "1.", ".5", "1.5", "-1.5",
+		"1e", "1e+", "1e5", "1e+5", "1E-5", "1e01", "1.0e0", "-",
+		"123.456e-78", "0.0", "1.5e", "9007199254740993", "--1", "+1",
+		"1..2", "1ee2", "", "1e-",
+	}
+	for _, c := range cases {
+		got := scanJSONNumber([]byte(c)) == len(c) && len(c) > 0
+		want := json.Valid([]byte(c))
+		if got != want {
+			t.Errorf("scanJSONNumber(%q) accepts=%v, json.Valid=%v", c, got, want)
+		}
+	}
+}
+
+func TestWriteEstimateFastMatchesEncoder(t *testing.T) {
+	encode := func(we wireEstimate) []byte {
+		var buf bytes.Buffer
+		enc := json.NewEncoder(&buf)
+		if err := enc.Encode(we); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	cases := []wireEstimate{
+		{},
+		{TimeNs: 1e6, InstantW: 31.25, SmoothedW: 30.9, TotalJ: 0.03125, Samples: 1, ModelVersion: 0},
+		{TimeNs: math.MaxUint64, InstantW: 1e-9, SmoothedW: 1e21, TotalJ: -0.0, Samples: 42, ModelVersion: 7},
+		{TimeNs: 5e6, InstantW: 1.0 / 3.0, Samples: 3, TraceID: "4bf92f3577b34da6a3ce929d0e0e4736"},
+	}
+	for i, we := range cases {
+		var out bytes.Buffer
+		bw := bufio.NewWriter(&out)
+		var scratch []byte
+		if !writeEstimateFast(bw, &scratch, we) {
+			t.Fatalf("case %d: writeEstimateFast bailed on an encodable estimate", i)
+		}
+		bw.Flush()
+		if want := encode(we); !bytes.Equal(out.Bytes(), want) {
+			t.Errorf("case %d: fast %q, encoder %q", i, out.Bytes(), want)
+		}
+	}
+
+	// A trace id the writer cannot prove HTML-safe must bail (the
+	// encoder escapes it) and leave the output stream untouched.
+	var out bytes.Buffer
+	bw := bufio.NewWriter(&out)
+	var scratch []byte
+	if writeEstimateFast(bw, &scratch, wireEstimate{TraceID: "a<b"}) {
+		t.Fatal("writeEstimateFast accepted a trace id needing escaping")
+	}
+	bw.Flush()
+	if out.Len() != 0 {
+		t.Fatalf("bailed write left %d bytes in the stream", out.Len())
+	}
+}

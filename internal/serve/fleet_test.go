@@ -1,0 +1,581 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"pmcpower/internal/acquisition"
+	"pmcpower/internal/pmu"
+)
+
+// --- registry hot swap under live traffic ----------------------------
+
+// TestRegistryHotSwapUnderLiveTraffic races model uploads against live
+// NDJSON streams and concurrent registry reads. Run under -race it
+// pins the copy-on-write contract: a deploy is atomic (readers see the
+// old or the new snapshot, never a torn one), in-flight streams keep
+// estimating, and every listing is internally consistent.
+func TestRegistryHotSwapUnderLiveTraffic(t *testing.T) {
+	m, rows := fixture(t)
+	_, ts := newTestServer(t, Config{})
+
+	var doc bytes.Buffer
+	if err := m.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	docBytes := doc.Bytes()
+
+	const (
+		streamers = 4
+		samples   = 40
+		uploads   = 20
+	)
+	bodies := make([]string, streamers)
+	for c := 0; c < streamers; c++ {
+		var sb strings.Builder
+		for i := 0; i < samples; i++ {
+			sb.WriteString(sampleLine(t, rows[(c+i)%len(rows)], uint64(i+1)*1e6))
+			sb.WriteByte('\n')
+		}
+		bodies[c] = sb.String()
+	}
+
+	errs := make(chan error, streamers+2)
+	var wg sync.WaitGroup
+
+	// Uploader: redeploy "m" continuously.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < uploads; i++ {
+			resp, err := http.Post(ts.URL+"/v1/models?name=m", "application/json", bytes.NewReader(docBytes))
+			if err != nil {
+				errs <- fmt.Errorf("upload %d: %w", i, err)
+				return
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusCreated {
+				errs <- fmt.Errorf("upload %d: HTTP %d", i, resp.StatusCode)
+				return
+			}
+		}
+		errs <- nil
+	}()
+
+	// Reader: every listing must be internally consistent — exactly one
+	// latest version per name, versions contiguous from 1.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			resp, err := http.Get(ts.URL + "/v1/models")
+			if err != nil {
+				errs <- fmt.Errorf("list %d: %w", i, err)
+				return
+			}
+			var infos []ModelInfo
+			err = json.NewDecoder(resp.Body).Decode(&infos)
+			resp.Body.Close()
+			if err != nil {
+				errs <- fmt.Errorf("list %d: %w", i, err)
+				return
+			}
+			latest := 0
+			for j, info := range infos {
+				if info.Version != j+1 {
+					errs <- fmt.Errorf("list %d: torn listing: version %d at index %d", i, info.Version, j)
+					return
+				}
+				if info.Latest {
+					latest++
+				}
+			}
+			if len(infos) > 0 && latest != 1 {
+				errs <- fmt.Errorf("list %d: %d latest versions, want 1", i, latest)
+				return
+			}
+		}
+		errs <- nil
+	}()
+
+	// Streamers: every sample must come back as an estimate — a deploy
+	// must never break a stream that resolved before it.
+	for c := 0; c < streamers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			est, errLines, err := racePost(ts, fmt.Sprintf("?model=m&session=swap-%d", c), bodies[c])
+			if err != nil {
+				errs <- fmt.Errorf("swap-%d: %w", c, err)
+				return
+			}
+			if errLines != 0 || est != samples {
+				errs <- fmt.Errorf("swap-%d: %d estimates, %d errors; want %d, 0", c, est, errLines, samples)
+			}
+		}(c)
+	}
+
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Error(err)
+		}
+	}
+}
+
+// --- shard equivalence ------------------------------------------------
+
+// equivSpec is one request of the equivalence transcript.
+type equivSpec struct {
+	method string
+	path   string
+	body   string
+}
+
+// normalizeStatus zeroes the fields of a /v1/status document that
+// legitimately depend on the shard layout or wall-clock timing.
+func normalizeStatus(t *testing.T, raw []byte) StatusResponse {
+	t.Helper()
+	var st StatusResponse
+	if err := json.Unmarshal(raw, &st); err != nil {
+		t.Fatalf("bad status %q: %v", raw, err)
+	}
+	st.Sessions.Shards = 0
+	st.Sessions.PerShard = nil
+	st.Admission.P99EwmaMS = 0
+	st.UptimeS = 0
+	return st
+}
+
+// normalizeMetrics drops exposition lines whose values are wall-clock
+// timings (latency histogram buckets and sums); the deterministic
+// sample counts (_seconds_count) and every non-timing family must be
+// byte-identical across serving modes.
+func normalizeMetrics(s string) string {
+	var out []string
+	for _, line := range strings.Split(s, "\n") {
+		name := line
+		if i := strings.IndexAny(line, "{ "); i >= 0 {
+			name = line[:i]
+		}
+		if strings.Contains(name, "seconds") && !strings.HasSuffix(name, "_count") {
+			continue
+		}
+		out = append(out, line)
+	}
+	return strings.Join(out, "\n")
+}
+
+// TestShardEquivalence drives an identical transcript — streaming
+// sessions with labelled refit samples, mid-stream rejections, batch
+// prediction, status and metrics reads — through a single-shard
+// server, a multi-shard server, and the legacy serving path, and
+// requires bit-identical responses. Shard layout is an implementation
+// detail; the service contract must not move.
+func TestShardEquivalence(t *testing.T) {
+	m, rows := fixture(t)
+	fixedNow := func() time.Time { return time.Unix(1_700_000_000, 0) }
+
+	newSrv := func(cfg Config) *httptest.Server {
+		cfg.Now = fixedNow
+		cfg.Registry = NewRegistry()
+		if _, err := cfg.Registry.Add("m", m); err != nil {
+			t.Fatal(err)
+		}
+		_, ts := newTestServer(t, cfg)
+		return ts
+	}
+	servers := map[string]*httptest.Server{
+		"shards1": newSrv(Config{Shards: 1}),
+		"shards8": newSrv(Config{Shards: 8}),
+		"legacy":  newSrv(Config{LegacyServing: true}),
+	}
+
+	stream := func(session string, lines ...string) equivSpec {
+		q := "?model=m&refit=32"
+		if session != "" {
+			q += "&session=" + session
+		}
+		return equivSpec{method: "POST", path: "/v1/estimate" + q, body: strings.Join(lines, "\n") + "\n"}
+	}
+	predictBody, err := json.Marshal(predictRequest{Model: "m", Rows: []wireRow{
+		rowToWire(rows[0]), rowToWire(rows[1]), rowToWire(rows[2]),
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	specs := []equivSpec{
+		stream("a", sampleLine(t, rows[0], 1e6), labelledLine(t, rows[1], 2e6), sampleLine(t, rows[2], 3e6)),
+		stream("b", labelledLine(t, rows[3], 1e6), labelledLine(t, rows[4], 2e6)),
+		// Anonymous stream with a mid-stream rejection (unknown event).
+		stream("", sampleLine(t, rows[5], 1e6), `{"time_ns":2000000,"freq_mhz":2000,"voltage_v":1.1,"rates":{"NO_SUCH_EV":1}}`, sampleLine(t, rows[6], 3e6)),
+		// Out-of-order rejection on a named session's second request.
+		stream("a", sampleLine(t, rows[7], 4e6), sampleLine(t, rows[8], 2e6)),
+		{method: "POST", path: "/v1/predict", body: string(predictBody)},
+		{method: "GET", path: "/v1/models"},
+		{method: "GET", path: "/healthz?deep=1"},
+	}
+
+	do := func(ts *httptest.Server, spec equivSpec, trace string) (int, []byte) {
+		req, err := http.NewRequest(spec.method, ts.URL+spec.path, strings.NewReader(spec.body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		req.Header.Set("traceparent", trace)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		raw, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return resp.StatusCode, raw
+	}
+
+	for i, spec := range specs {
+		trace := fmt.Sprintf("00-%032x-%016x-01", i+1, i+1)
+		baseStatus, baseBody := do(servers["shards1"], spec, trace)
+		for name, ts := range servers {
+			if name == "shards1" {
+				continue
+			}
+			status, body := do(ts, spec, trace)
+			if status != baseStatus || !bytes.Equal(body, baseBody) {
+				t.Errorf("spec %d (%s %s): %s diverges from shards1:\n shards1: %d %q\n %s: %d %q",
+					i, spec.method, spec.path, name, baseStatus, baseBody, name, status, body)
+			}
+		}
+	}
+
+	// /v1/status must agree after stripping the shard-layout block.
+	_, baseRaw := do(servers["shards1"], equivSpec{method: "GET", path: "/v1/status"}, "00-"+strings.Repeat("a", 32)+"-"+strings.Repeat("b", 16)+"-01")
+	base := normalizeStatus(t, baseRaw)
+	for name, ts := range servers {
+		if name == "shards1" {
+			continue // each server must see the transcript exactly once
+		}
+		_, raw := do(ts, equivSpec{method: "GET", path: "/v1/status"}, "00-"+strings.Repeat("a", 32)+"-"+strings.Repeat("b", 16)+"-01")
+		st := normalizeStatus(t, raw)
+		if !reflect.DeepEqual(st, base) {
+			t.Errorf("status diverges on %s:\n shards1: %+v\n %s: %+v", name, base, name, st)
+		}
+	}
+
+	// /metrics must agree after dropping wall-clock-valued lines.
+	_, baseMetrics := do(servers["shards1"], equivSpec{method: "GET", path: "/metrics"}, "00-"+strings.Repeat("c", 32)+"-"+strings.Repeat("d", 16)+"-01")
+	baseNorm := normalizeMetrics(string(baseMetrics))
+	for name, ts := range servers {
+		if name == "shards1" {
+			continue
+		}
+		_, raw := do(ts, equivSpec{method: "GET", path: "/metrics"}, "00-"+strings.Repeat("c", 32)+"-"+strings.Repeat("d", 16)+"-01")
+		if got := normalizeMetrics(string(raw)); got != baseNorm {
+			t.Errorf("metrics diverge on %s:\n--- shards1 ---\n%s\n--- %s ---\n%s", name, baseNorm, name, got)
+		}
+	}
+}
+
+func rowToWire(r *acquisition.Row) wireRow {
+	rates := make(map[string]float64, len(r.Rates))
+	for id, v := range r.Rates {
+		rates[pmu.Lookup(id).Name] = v
+	}
+	return wireRow{FreqMHz: float64(r.FreqMHz), VoltageV: r.VoltageV, Rates: rates}
+}
+
+// --- sweep eviction outside the critical section ----------------------
+
+// TestSweepEvictsOutsideShardLock pins the collect-then-close sweep
+// contract: per-session teardown (the evictHook seam) runs with the
+// shard lock released, so a slow teardown cannot stall acquire/release
+// traffic on the same shard.
+func TestSweepEvictsOutsideShardLock(t *testing.T) {
+	model, _ := fixture(t)
+	clock := newRaceClock()
+	const ttl = 10 * time.Millisecond
+	// One shard: the evicted key and the live key share it by
+	// construction, which is the worst case the contract covers.
+	sm := newSessionManager(1, 64, ttl, clock.Now, NewMetrics(nil, 1), 0)
+
+	hookEntered := make(chan struct{})
+	hookRelease := make(chan struct{})
+	sm.evictHook = func(sessionKey, *session) {
+		close(hookEntered)
+		<-hookRelease
+	}
+
+	idle := sessionKey{model: "m", id: "idle"}
+	if _, herr := sm.acquire(idle, model, 0.5, 0); herr != nil {
+		t.Fatal(herr.err)
+	}
+	sm.release(idle)
+	clock.Advance(2 * ttl)
+
+	sweepDone := make(chan int)
+	go func() { sweepDone <- sm.sweep(clock.Now()) }()
+	<-hookEntered // the sweep is now parked in teardown
+
+	// With the hook blocked, same-shard traffic must still flow.
+	acquired := make(chan struct{})
+	go func() {
+		live := sessionKey{model: "m", id: "live"}
+		if _, herr := sm.acquire(live, model, 0.5, 0); herr != nil {
+			t.Errorf("acquire during blocked teardown: %v", herr.err)
+		} else {
+			sm.release(live)
+		}
+		close(acquired)
+	}()
+	select {
+	case <-acquired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("acquire blocked behind an in-progress eviction teardown")
+	}
+
+	close(hookRelease)
+	if n := <-sweepDone; n != 1 {
+		t.Fatalf("sweep evicted %d sessions, want 1", n)
+	}
+}
+
+// --- allocation gate --------------------------------------------------
+
+// TestEstimateSampleZeroAllocs gates the serving core's steady state:
+// once a session exists, pushing a sample through the full serving
+// path (admission, registry resolution, session bookkeeping, metrics)
+// must not allocate.
+func TestEstimateSampleZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation counts are not stable under -race")
+	}
+	_, rows := fixture(t)
+	s := New(Config{Registry: func() *Registry {
+		m, _ := fixture(t)
+		r := NewRegistry()
+		r.Add("m", m)
+		return r
+	}()})
+	defer s.Close()
+
+	cs := counterSample(rows[0], 0)
+	var timeNs uint64
+	push := func() {
+		timeNs += 1e6
+		cs.TimeNs = timeNs
+		if _, err := s.EstimateSample("m", "gate", cs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	push() // create the session outside the measured window
+	if allocs := testing.AllocsPerRun(1000, push); allocs != 0 {
+		t.Fatalf("EstimateSample steady state allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// --- body caps --------------------------------------------------------
+
+func TestPredictBodyCap(t *testing.T) {
+	_, ts := newTestServer(t, Config{MaxBodyBytes: 256})
+	body := `{"model":"m","rows":[` + strings.Repeat(`{"freq_mhz":2000,"voltage_v":1.1,"rates":{}},`, 64)
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized predict body: HTTP %d %q, want 413", resp.StatusCode, raw)
+	}
+	if !strings.Contains(string(raw), ReasonOversized) {
+		t.Fatalf("413 body %q does not carry reason %q", raw, ReasonOversized)
+	}
+}
+
+func TestModelUploadBodyCap(t *testing.T) {
+	m, _ := fixture(t)
+	s, ts := newTestServer(t, Config{MaxBodyBytes: 128})
+	// A well-formed model document larger than the cap: the 413 must
+	// come from the byte limit, not from a parse failure.
+	var doc bytes.Buffer
+	if err := m.WriteJSON(&doc); err != nil {
+		t.Fatal(err)
+	}
+	if doc.Len() <= 128 {
+		t.Fatalf("fixture document is %d bytes; cap test needs > 128", doc.Len())
+	}
+	resp, err := http.Post(ts.URL+"/v1/models?name=big", "application/json", &doc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusRequestEntityTooLarge {
+		t.Fatalf("oversized model upload: HTTP %d %q, want 413", resp.StatusCode, raw)
+	}
+	if got := s.Metrics().Rejected(ReasonOversized); got == 0 {
+		t.Fatal("oversized upload not counted under the oversized reason")
+	}
+}
+
+// --- admission control ------------------------------------------------
+
+// TestAdmissionInFlightCap holds one estimate stream open and requires
+// the next gated request to shed with 429 + Retry-After, then pass
+// again once the stream completes.
+func TestAdmissionInFlightCap(t *testing.T) {
+	m, rows := fixture(t)
+	reg := NewRegistry()
+	if _, err := reg.Add("m", m); err != nil {
+		t.Fatal(err)
+	}
+	s, ts := newTestServer(t, Config{Registry: reg, MaxInFlight: 1, RetryAfter: 2 * time.Second})
+
+	pr, pw := io.Pipe()
+	type result struct {
+		status int
+		err    error
+	}
+	done := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(ts.URL+"/v1/estimate?model=m&session=held", "application/x-ndjson", pr)
+		if err != nil {
+			done <- result{0, err}
+			return
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		done <- result{resp.StatusCode, nil}
+	}()
+	// First sample proves the stream is admitted and in flight.
+	if _, err := io.WriteString(pw, sampleLine(t, rows[0], 1e6)+"\n"); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return s.gate.inFlight() == 1 })
+
+	resp, err := http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"model":"m","rows":[{"freq_mhz":2000,"voltage_v":1.1,"rates":{}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-cap request: HTTP %d %q, want 429", resp.StatusCode, raw)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "2" {
+		t.Fatalf("Retry-After = %q, want %q", got, "2")
+	}
+	if got := s.Metrics().ShedCount("/v1/predict", ReasonShedInflight); got != 1 {
+		t.Fatalf("shed counter = %d, want 1", got)
+	}
+
+	pw.Close()
+	if r := <-done; r.err != nil || r.status != http.StatusOK {
+		t.Fatalf("held stream: status %d err %v", r.status, r.err)
+	}
+	waitFor(t, func() bool { return s.gate.inFlight() == 0 })
+
+	// Capacity restored: the same request is admitted now.
+	resp, err = http.Post(ts.URL+"/v1/predict", "application/json",
+		strings.NewReader(`{"model":"m","rows":[{"freq_mhz":2000,"voltage_v":1.1,"rates":{}}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode == http.StatusTooManyRequests {
+		t.Fatal("request shed after capacity was restored")
+	}
+}
+
+// TestAdmissionP99Shed drives the latency EWMA over an absurdly low
+// threshold and requires 503 + Retry-After, the shedding gauge, a
+// failing deep health probe, and the status block to agree.
+func TestAdmissionP99Shed(t *testing.T) {
+	_, rows := fixture(t)
+	s, ts := newTestServer(t, Config{ShedP99: time.Nanosecond, ShedSampleEvery: 1})
+
+	// Prime the EWMA: any completed request's p99 exceeds 1ns.
+	code, _, _ := streamEstimates(t, ts, "?model=m", []string{sampleLine(t, rows[0], 1e6)})
+	if code != http.StatusOK {
+		t.Fatalf("priming request: HTTP %d", code)
+	}
+	waitFor(t, func() bool { return s.gate.sheddingNow() })
+
+	resp, err := http.Post(ts.URL+"/v1/estimate?model=m", "application/x-ndjson",
+		strings.NewReader(sampleLine(t, rows[1], 1e6)+"\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("request under shed: HTTP %d %q, want 503", resp.StatusCode, raw)
+	}
+	if resp.Header.Get("Retry-After") == "" {
+		t.Fatal("shed response missing Retry-After")
+	}
+	if !strings.Contains(string(raw), ReasonShedP99) {
+		t.Fatalf("shed body %q does not carry reason %q", raw, ReasonShedP99)
+	}
+
+	st := s.Status()
+	if !st.Admission.Enabled || !st.Admission.Shedding || st.Admission.ShedTotal == 0 {
+		t.Fatalf("status admission block %+v does not reflect active shedding", st.Admission)
+	}
+	if !strings.Contains(s.Metrics().Render(), "pmcpowerd_shedding 1") {
+		t.Fatal("pmcpowerd_shedding gauge not raised")
+	}
+
+	deep, err := http.Get(ts.URL + "/healthz?deep=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, deep.Body)
+	deep.Body.Close()
+	if deep.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("deep health under shed: HTTP %d, want 503", deep.StatusCode)
+	}
+}
+
+// TestAdmissionDisabled pins the escape hatch: with both knobs at
+// zero, requests carry no Retry-After and the status block reports the
+// gate as disabled.
+func TestAdmissionDisabled(t *testing.T) {
+	_, rows := fixture(t)
+	s, ts := newTestServer(t, Config{})
+	code, ests, _ := streamEstimates(t, ts, "?model=m", []string{sampleLine(t, rows[0], 1e6)})
+	if code != http.StatusOK || len(ests) != 1 {
+		t.Fatalf("ungated request: HTTP %d, %d estimates", code, len(ests))
+	}
+	if st := s.Status(); st.Admission.Enabled || st.Admission.Shedding || st.Admission.ShedTotal != 0 {
+		t.Fatalf("admission block %+v, want disabled and idle", st.Admission)
+	}
+}
+
+// waitFor polls cond with a deadline — for settling asynchronous gate
+// state that lags the HTTP response by one middleware epilogue.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached within deadline")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

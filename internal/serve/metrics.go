@@ -22,6 +22,10 @@ const (
 	ReasonSessionCap  = "session_limit"
 	ReasonSessionBusy = "session_busy"
 	ReasonBadPower    = "bad_power"
+	// Admission-control rejections: the in-flight cap (429) and the
+	// p99 latency shed (503).
+	ReasonShedInflight = "shed_inflight"
+	ReasonShedP99      = "shed_p99"
 )
 
 // driftBuckets are watt-scale histogram bounds for the absolute error
@@ -46,7 +50,7 @@ type Metrics struct {
 	estimates       *obs.Counter
 	evictions       *obs.Counter
 	sessionsCreated *obs.Counter
-	estimateLatency *obs.Histogram
+	estimateLatency *obs.StripedHistogram
 	refitSamples    *obs.Counter
 	refits          *obs.Counter
 	refitRebuilds   *obs.Counter
@@ -58,7 +62,11 @@ type Metrics struct {
 // process default when nil). Registration is idempotent, so a shared
 // registry (e.g. obs.Default()) can carry both these and library
 // metrics like the parallel engine's task counters.
-func NewMetrics(reg *obs.Registry) *Metrics {
+// The per-sample estimate-latency histogram is striped by session
+// shard (stripes is the shard count), so concurrent streams record
+// push latency without sharing a lock; the exposition merges stripes
+// and stays byte-identical to a single histogram.
+func NewMetrics(reg *obs.Registry, stripes int) *Metrics {
 	if reg == nil {
 		reg = obs.Default()
 	}
@@ -70,8 +78,8 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Estimator sessions evicted for idleness."),
 		sessionsCreated: reg.Counter("pmcpowerd_sessions_created_total",
 			"Named estimator sessions created."),
-		estimateLatency: reg.Histogram("pmcpowerd_estimate_latency_seconds",
-			"Per-sample estimator push latency.", nil),
+		estimateLatency: reg.StripedHistogram("pmcpowerd_estimate_latency_seconds",
+			"Per-sample estimator push latency.", nil, stripes),
 		refitSamples: reg.Counter("pmcpowerd_refit_samples_total",
 			"Labelled samples folded into streaming refit windows."),
 		refits: reg.Counter("pmcpowerd_refits_total",
@@ -161,10 +169,55 @@ func (m *Metrics) Rejected(reason string) uint64 {
 		obs.Label{Key: "reason", Value: reason}).Value()
 }
 
-// Estimate records one accepted sample and its push latency.
-func (m *Metrics) Estimate(d time.Duration) {
+// Estimate records one accepted sample and its push latency on the
+// given histogram stripe (the observing session's shard index, so
+// streams on different shards never contend on one histogram lock).
+func (m *Metrics) Estimate(stripe int, d time.Duration) {
 	m.estimates.Inc()
-	m.estimateLatency.Observe(d.Seconds())
+	m.estimateLatency.Observe(stripe, d.Seconds())
+}
+
+// EstimateLatencyQuantile estimates the q-quantile of the per-sample
+// push-latency distribution, merged across stripes.
+func (m *Metrics) EstimateLatencyQuantile(q float64) (float64, bool) {
+	return m.estimateLatency.Quantile(q)
+}
+
+// Shed counts one request shed by admission control on path for
+// reason (shed_inflight or shed_p99).
+func (m *Metrics) Shed(path, reason string) {
+	m.reg.Counter("pmcpowerd_shed_total",
+		"Requests shed by admission control, by path and reason.",
+		obs.Label{Key: "path", Value: path},
+		obs.Label{Key: "reason", Value: reason}).Inc()
+}
+
+// ShedCount returns the shed counter for one (path, reason) pair.
+func (m *Metrics) ShedCount(path, reason string) uint64 {
+	return m.reg.Counter("pmcpowerd_shed_total",
+		"Requests shed by admission control, by path and reason.",
+		obs.Label{Key: "path", Value: path},
+		obs.Label{Key: "reason", Value: reason}).Value()
+}
+
+// SetShedState publishes the admission gate's latency EWMA and
+// current shed decision as gauges.
+func (m *Metrics) SetShedState(p99EwmaS float64, shedding bool) {
+	m.reg.Gauge("pmcpowerd_shed_p99_ewma_seconds",
+		"EWMA of the p99 latency over recent estimate/predict requests.").Set(p99EwmaS)
+	v := 0.0
+	if shedding {
+		v = 1
+	}
+	m.reg.Gauge("pmcpowerd_shedding",
+		"1 while p99 load shedding is active, else 0.").Set(v)
+}
+
+// requestLatencySnapshot returns a consistent snapshot of path's
+// request-latency histogram — the admission gate's p99 feed.
+func (m *Metrics) requestLatencySnapshot(path string) obs.HistogramSnapshot {
+	return m.reg.Histogram("pmcpowerd_request_seconds", "HTTP request latency by path.",
+		nil, obs.Label{Key: "path", Value: path}).Snapshot()
 }
 
 // RefitSample records one labelled sample folded into a refit window,

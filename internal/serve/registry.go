@@ -14,6 +14,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"pmcpower/internal/core"
 	"pmcpower/internal/pmu"
@@ -31,19 +32,43 @@ type ModelInfo struct {
 	TrainN    int      `json:"train_n,omitempty"`
 }
 
+// registrySnapshot is one immutable generation of the registry: the
+// version table, the precomputed /v1/models listing, and the sole
+// registered name (for empty-key resolution). Snapshots are never
+// mutated after publication — a writer builds a fresh one and swaps
+// the pointer — so readers need no lock at all.
+type registrySnapshot struct {
+	models map[string][]*core.Model
+	infos  []ModelInfo
+	// soleName is the only registered model name when exactly one is
+	// registered (the unambiguous default for an empty lookup key), ""
+	// otherwise.
+	soleName string
+}
+
 // Registry holds deployed models keyed by name and version. Adding a
 // model under an existing name appends a new version; lookups resolve
 // either a bare name (latest version) or an explicit "name@version"
 // key, so a monitoring fleet can pin estimates to the exact
 // calibration that produced them.
+//
+// Reads are lock-free: every lookup is one atomic load of the current
+// copy-on-write snapshot, so the estimate/predict hot paths never
+// contend with each other or with a deploy. Add builds a new snapshot
+// under a writer mutex and publishes it with an atomic swap — a model
+// uploaded mid-traffic is either entirely absent or entirely present,
+// never torn, and streams resolved against the old snapshot keep
+// serving it unchanged.
 type Registry struct {
-	mu     sync.RWMutex
-	models map[string][]*core.Model
+	writeMu sync.Mutex
+	snap    atomic.Pointer[registrySnapshot]
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{models: make(map[string][]*core.Model)}
+	r := &Registry{}
+	r.snap.Store(&registrySnapshot{models: map[string][]*core.Model{}})
+	return r
 }
 
 // Add registers m under name and returns the version assigned to it
@@ -55,10 +80,55 @@ func (r *Registry) Add(name string, m *core.Model) (int, error) {
 	if m == nil {
 		return 0, fmt.Errorf("serve: nil model for %q", name)
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.models[name] = append(r.models[name], m)
-	return len(r.models[name]), nil
+	r.writeMu.Lock()
+	defer r.writeMu.Unlock()
+	old := r.snap.Load()
+	models := make(map[string][]*core.Model, len(old.models)+1)
+	for n, vs := range old.models {
+		models[n] = vs // published slices are immutable; share them
+	}
+	// The updated name gets a fresh backing array: appending in place
+	// could write into an array a published snapshot still references.
+	models[name] = append(append([]*core.Model(nil), old.models[name]...), m)
+	next := &registrySnapshot{models: models}
+	next.infos = buildInfos(models)
+	if len(models) == 1 {
+		next.soleName = name
+	}
+	r.snap.Store(next)
+	return len(models[name]), nil
+}
+
+// buildInfos precomputes the sorted /v1/models listing for a snapshot,
+// so List on the read path is a pointer load instead of a sort.
+func buildInfos(models map[string][]*core.Model) []ModelInfo {
+	var out []ModelInfo
+	names := make([]string, 0, len(models))
+	for n := range models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		versions := models[n]
+		for vi, m := range versions {
+			info := ModelInfo{
+				Name:    n,
+				Version: vi + 1,
+				Latest:  vi == len(versions)-1,
+				Events:  make([]string, len(m.Events)),
+			}
+			for i, id := range m.Events {
+				info.Events[i] = pmu.Lookup(id).Name
+			}
+			if m.Fit != nil {
+				info.R2 = m.Fit.R2
+				info.Estimator = m.Fit.Estimator.String()
+				info.TrainN = m.Fit.N
+			}
+			out = append(out, info)
+		}
+	}
+	return out
 }
 
 // LoadFile reads a persisted model document (core.ReadJSON) and
@@ -104,9 +174,10 @@ func (r *Registry) Get(key string) (*core.Model, error) {
 }
 
 // Resolve is Get with the resolved name and concrete version attached.
+// It reads one atomic snapshot and allocates nothing on success, so
+// per-request (and loadgen per-sample) resolution is contention-free.
 func (r *Registry) Resolve(key string) (ModelRef, error) {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
+	snap := r.snap.Load()
 	name, version := key, 0
 	if i := strings.IndexByte(key, '@'); i >= 0 {
 		name = key[:i]
@@ -117,14 +188,12 @@ func (r *Registry) Resolve(key string) (ModelRef, error) {
 		version = v
 	}
 	if name == "" {
-		if len(r.models) != 1 {
-			return ModelRef{}, fmt.Errorf("serve: model parameter required (%d models registered)", len(r.models))
+		if snap.soleName == "" {
+			return ModelRef{}, fmt.Errorf("serve: model parameter required (%d models registered)", len(snap.models))
 		}
-		for n := range r.models {
-			name = n
-		}
+		name = snap.soleName
 	}
-	versions, ok := r.models[name]
+	versions, ok := snap.models[name]
 	if !ok {
 		return ModelRef{}, fmt.Errorf("serve: unknown model %q", name)
 	}
@@ -139,41 +208,12 @@ func (r *Registry) Resolve(key string) (ModelRef, error) {
 // Count returns the number of registered model names — the shallow
 // readiness signal (a server with zero models can serve nothing).
 func (r *Registry) Count() int {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	return len(r.models)
+	return len(r.snap.Load().models)
 }
 
 // List reports every registered model version, sorted by name then
-// version.
+// version. The returned slice is the snapshot's precomputed listing,
+// shared between callers — treat it as read-only.
 func (r *Registry) List() []ModelInfo {
-	r.mu.RLock()
-	defer r.mu.RUnlock()
-	var out []ModelInfo
-	names := make([]string, 0, len(r.models))
-	for n := range r.models {
-		names = append(names, n)
-	}
-	sort.Strings(names)
-	for _, n := range names {
-		versions := r.models[n]
-		for vi, m := range versions {
-			info := ModelInfo{
-				Name:    n,
-				Version: vi + 1,
-				Latest:  vi == len(versions)-1,
-				Events:  make([]string, len(m.Events)),
-			}
-			for i, id := range m.Events {
-				info.Events[i] = pmu.Lookup(id).Name
-			}
-			if m.Fit != nil {
-				info.R2 = m.Fit.R2
-				info.Estimator = m.Fit.Estimator.String()
-				info.TrainN = m.Fit.N
-			}
-			out = append(out, info)
-		}
-	}
-	return out
+	return r.snap.Load().infos
 }

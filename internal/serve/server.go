@@ -43,6 +43,42 @@ type Config struct {
 	// MaxSessions caps live sessions; further session creation gets
 	// HTTP 429. Default 1024.
 	MaxSessions int
+	// Shards is the session-table shard count, rounded up to a power
+	// of two. Each shard has its own lock and janitor bookkeeping, so
+	// concurrent streams for different clients never serialize on one
+	// mutex; the per-sample latency histogram is striped the same way.
+	// Default 8. 1 reproduces the seed's single-lock table (the
+	// loadtest baseline). pmcpowerd sets it from -shards.
+	Shards int
+	// MaxInFlight caps concurrently admitted estimate/predict
+	// requests; beyond it the admission gate sheds with 429 +
+	// Retry-After before any model work happens. 0 (default) disables
+	// the cap. pmcpowerd sets it from -max-inflight.
+	MaxInFlight int
+	// ShedP99 enables latency shedding: while the EWMA of the p99 over
+	// recent estimate/predict requests exceeds this, new ones are shed
+	// with 503 + Retry-After. 0 (default) disables. pmcpowerd sets it
+	// from -shed-p99-ms.
+	ShedP99 time.Duration
+	// ShedSampleEvery is the number of gated-request completions
+	// between p99 recomputations. Default 32.
+	ShedSampleEvery int
+	// RetryAfter is the backoff hint stamped on shed responses
+	// (rounded up to whole seconds). Default 1s.
+	RetryAfter time.Duration
+	// MaxBodyBytes caps the request body of the non-streaming JSON
+	// endpoints (/v1/predict and model upload); an oversized body gets
+	// 413. Default 8 MiB. The streaming estimate endpoint is bounded
+	// per line by MaxLineBytes instead.
+	MaxBodyBytes int64
+	// LegacyServing reproduces the seed's serving path exactly: a
+	// single-shard session table, a response flush and a fresh parse
+	// allocation per NDJSON sample. Responses are bit-identical either
+	// way (the equivalence test pins it); the flag exists so the
+	// committed loadtest baseline (BENCH_7.json) measures the real
+	// pre-optimization path on the same binary, the same way
+	// SelectOptions.Exact preserves the exact selection path.
+	LegacyServing bool
 	// RefitWindow is the default streaming-refit window (in labelled
 	// samples) applied to new estimator sessions when a client does not
 	// pass ?refit=. 0 (the default) serves the frozen offline fit;
@@ -137,6 +173,22 @@ func (c Config) withDefaults() Config {
 	if c.MaxSessions == 0 {
 		c.MaxSessions = 1024
 	}
+	if c.Shards == 0 {
+		c.Shards = 8
+	}
+	if c.LegacyServing {
+		c.Shards = 1
+	}
+	c.Shards = shardCount(c.Shards)
+	if c.ShedSampleEvery <= 0 {
+		c.ShedSampleEvery = 32
+	}
+	if c.RetryAfter <= 0 {
+		c.RetryAfter = time.Second
+	}
+	if c.MaxBodyBytes == 0 {
+		c.MaxBodyBytes = 8 << 20
+	}
 	if c.MaxLineBytes == 0 {
 		c.MaxLineBytes = 1 << 20
 	}
@@ -160,6 +212,7 @@ type Server struct {
 	reg       *Registry
 	metrics   *Metrics
 	sessions  *sessionManager
+	gate      *admissionGate
 	quality   *qualityHub         // nil when cfg.DisableQuality
 	flightrec *obs.FlightRecorder // nil when cfg.DisableFlightRec
 	mux       *http.ServeMux
@@ -180,7 +233,7 @@ func New(cfg Config) *Server {
 	s := &Server{
 		cfg:       cfg,
 		reg:       cfg.Registry,
-		metrics:   NewMetrics(cfg.Obs),
+		metrics:   NewMetrics(cfg.Obs, cfg.Shards),
 		start:     cfg.Now(),
 		version:   buildVersion(),
 		goVersion: runtime.Version(),
@@ -204,11 +257,15 @@ func New(cfg Config) *Server {
 	} else {
 		s.quality = newQualityHub(cfg, s.metrics, cfg.Logger, s.flightrec)
 	}
-	s.sessions = newSessionManager(cfg.MaxSessions, cfg.IdleTTL, cfg.Now, s.metrics, qualityWindow)
+	s.sessions = newSessionManager(cfg.Shards, cfg.MaxSessions, cfg.IdleTTL, cfg.Now, s.metrics, qualityWindow)
+	s.gate = newAdmissionGate(cfg, s.metrics)
 	s.metrics.SetBuildInfo(s.version, s.goVersion)
 	// Gauges owned by other components, sampled at render time.
 	cfg.Obs.GaugeFunc("pmcpowerd_sessions_active",
 		"Live estimator sessions.", func() float64 { return float64(s.sessions.count()) })
+	cfg.Obs.GaugeFunc("pmcpowerd_inflight",
+		"Estimate/predict requests currently admitted.",
+		func() float64 { return float64(s.gate.inFlight()) })
 	cfg.Obs.GaugeFunc("pmcpowerd_models",
 		"Models registered for serving.", func() float64 { return float64(len(s.reg.List())) })
 	cfg.Obs.GaugeFunc("pmcpowerd_uptime_seconds",
@@ -288,6 +345,10 @@ func (s *Server) Handler() http.Handler {
 		s.flightrec.Finish(at, status)
 		if p := r.URL.Path; p == "/v1/estimate" || p == "/v1/predict" {
 			s.metrics.RequestLatencyExemplar(p, d, tc.TraceID)
+			// Feed the admission gate's p99 signal. Shed responses count
+			// too — their small latencies are what lets the EWMA decay
+			// and admission reopen under sustained overload.
+			s.gate.observe()
 		}
 		if s.cfg.Logger != nil {
 			attrs := []any{
@@ -363,6 +424,40 @@ func (s *Server) SessionQuality(model, id string) (quality.WindowSnapshot, bool)
 // this periodically; tests call it directly with an advanced fake
 // clock.
 func (s *Server) SweepIdleSessions() int { return s.sessions.sweep(s.cfg.Now()) }
+
+// EstimateSample pushes one counter sample through a named session's
+// estimator exactly as one /v1/estimate NDJSON line would — admission
+// gate, registry resolution, session bookkeeping, and metrics are the
+// serving path's — but without HTTP framing or parsing. It exists for
+// in-process harnesses (cmd/loadgen's engine mode, the allocation
+// gate in tests) that drive the serving core without a socket; the
+// steady-state path allocates nothing.
+func (s *Server) EstimateSample(model, sessionID string, cs core.CounterSample) (core.StreamEstimate, error) {
+	if herr := s.gate.admit("/v1/estimate"); herr != nil {
+		return core.StreamEstimate{}, herr
+	}
+	ref, err := s.reg.Resolve(model)
+	if err != nil {
+		s.gate.leave()
+		return core.StreamEstimate{}, err
+	}
+	key := sessionKey{model: model, id: sessionID}
+	sess, herr := s.sessions.acquire(key, ref.Model, s.cfg.DefaultAlpha, s.cfg.RefitWindow)
+	if herr != nil {
+		s.gate.leave()
+		return core.StreamEstimate{}, herr
+	}
+	start := time.Now()
+	est, perr := sess.stream.Push(cs)
+	if perr == nil {
+		s.metrics.Estimate(s.sessions.shardIndex(key), time.Since(start))
+	} else {
+		s.metrics.Reject(classifyPushError(perr))
+	}
+	s.sessions.release(key)
+	s.gate.leave()
+	return est, perr
+}
 
 // Close stops the janitor. In-flight requests are the http.Server's
 // concern (use its Shutdown for request draining).
@@ -454,9 +549,10 @@ type predictResponse struct {
 // handleHealth is the readiness probe. The shallow check asks "can
 // this daemon serve anything" — it fails (503) only when no model is
 // registered. ?deep=1 additionally asks "is what it serves still
-// accurate" and fails while any served model is in drift alert, so a
-// load balancer can drain a node whose calibration has gone stale
-// while a plain liveness probe keeps passing.
+// accurate and keeping up" and fails while admission control is
+// shedding load or any served model is in drift alert, so a load
+// balancer can drain a node whose calibration has gone stale (or that
+// is drowning) while a plain liveness probe keeps passing.
 func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("/healthz")
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -465,11 +561,19 @@ func (s *Server) handleHealth(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "unavailable: no models registered")
 		return
 	}
-	if r.URL.Query().Get("deep") == "1" && s.quality != nil {
-		if alerting := s.quality.alerting(); len(alerting) > 0 {
+	if r.URL.Query().Get("deep") == "1" {
+		if s.gate.sheddingNow() {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintf(w, "alert: model quality degraded: %s\n", strings.Join(alerting, ", "))
+			fmt.Fprintf(w, "overloaded: shedding load (p99 EWMA %.1f ms over %.1f ms)\n",
+				s.gate.p99EwmaS()*1e3, s.cfg.ShedP99.Seconds()*1e3)
 			return
+		}
+		if s.quality != nil {
+			if alerting := s.quality.alerting(); len(alerting) > 0 {
+				w.WriteHeader(http.StatusServiceUnavailable)
+				fmt.Fprintf(w, "alert: model quality degraded: %s\n", strings.Join(alerting, ", "))
+				return
+			}
 		}
 	}
 	fmt.Fprintln(w, "ok")
@@ -483,7 +587,66 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	s.metrics.Request("/v1/models")
+	if r.Method == http.MethodPost {
+		s.handleModelUpload(w, r)
+		return
+	}
 	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+// handleModelUpload registers a persisted model document (the
+// core.WriteJSON format) under ?name=, hot-swapping it into the
+// registry: in-flight streams keep the snapshot they resolved, new
+// lookups see the new version atomically. The body is capped at
+// MaxBodyBytes (413 beyond).
+func (s *Server) handleModelUpload(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("name")
+	if name == "" {
+		s.metrics.Reject(ReasonParse)
+		writeError(w, http.StatusBadRequest, ReasonParse, errors.New("serve: model upload requires ?name="))
+		return
+	}
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	m, err := core.ReadJSON(body)
+	if err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.Reject(ReasonOversized)
+			writeError(w, http.StatusRequestEntityTooLarge, ReasonOversized,
+				fmt.Errorf("serve: model document exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
+		s.metrics.Reject(ReasonParse)
+		writeError(w, http.StatusBadRequest, ReasonParse, fmt.Errorf("serve: decoding model: %w", err))
+		return
+	}
+	version, err := s.reg.Add(name, m)
+	if err != nil {
+		s.metrics.Reject(ReasonParse)
+		writeError(w, http.StatusBadRequest, ReasonParse, err)
+		return
+	}
+	if s.cfg.Logger != nil {
+		s.cfg.Logger.Info("model uploaded", "model", name, "version", version)
+	}
+	writeJSON(w, http.StatusCreated, struct {
+		Name    string `json:"name"`
+		Version int    `json:"version"`
+	}{Name: name, Version: version})
+}
+
+// predictScratch is the pooled per-request workspace of the batch
+// predict path: one reusable design row (its rates map cleared per
+// row) so a large batch resolves the model once and allocates no
+// per-row state.
+type predictScratch struct {
+	row acquisition.Row
+}
+
+var predictPool = sync.Pool{
+	New: func() any {
+		return &predictScratch{row: acquisition.Row{Rates: make(map[pmu.EventID]float64, 8)}}
+	},
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
@@ -492,14 +655,28 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, ReasonParse, errors.New("serve: POST required"))
 		return
 	}
+	if herr := s.gate.admit("/v1/predict"); herr != nil {
+		s.gate.setRetryAfter(w.Header())
+		writeError(w, herr.status, herr.reason, herr.err)
+		return
+	}
+	defer s.gate.leave()
 	var req predictRequest
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
+		var mbe *http.MaxBytesError
+		if errors.As(err, &mbe) {
+			s.metrics.Reject(ReasonOversized)
+			writeError(w, http.StatusRequestEntityTooLarge, ReasonOversized,
+				fmt.Errorf("serve: request body exceeds %d bytes", s.cfg.MaxBodyBytes))
+			return
+		}
 		s.metrics.Reject(ReasonParse)
 		writeError(w, http.StatusBadRequest, ReasonParse, fmt.Errorf("serve: decoding request: %w", err))
 		return
 	}
+	// One registry snapshot, resolved once for the whole batch.
 	m, err := s.reg.Get(req.Model)
 	if err != nil {
 		writeError(w, http.StatusNotFound, ReasonParse, err)
@@ -510,19 +687,21 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, ReasonParse, errors.New("serve: request has no rows"))
 		return
 	}
-	resp := predictResponse{Model: req.Model, N: len(req.Rows)}
+	resp := predictResponse{Model: req.Model, N: len(req.Rows), Watts: make([]float64, 0, len(req.Rows))}
 	if tc, ok := obs.TraceFromContext(r.Context()); ok {
 		resp.TraceID = tc.TraceID
 	}
-	for i, wr := range req.Rows {
-		row, reason, err := convertRow(wr, m)
+	sc := predictPool.Get().(*predictScratch)
+	defer predictPool.Put(sc)
+	for i := range req.Rows {
+		reason, err := convertRowInto(req.Rows[i], m, &sc.row)
 		if err != nil {
 			s.metrics.Reject(reason)
 			writeError(w, http.StatusBadRequest, reason,
 				fmt.Errorf("serve: row %d: %w", i, err))
 			return
 		}
-		resp.Watts = append(resp.Watts, m.Predict(row))
+		resp.Watts = append(resp.Watts, m.Predict(&sc.row))
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -535,6 +714,13 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusMethodNotAllowed, ReasonParse, errors.New("serve: POST required"))
 		return
 	}
+	if herr := s.gate.admit("/v1/estimate"); herr != nil {
+		at.Error(herr.err.Error())
+		s.gate.setRetryAfter(w.Header())
+		writeError(w, herr.status, herr.reason, herr.err)
+		return
+	}
+	defer s.gate.leave()
 	q := r.URL.Query()
 	ref, err := s.reg.Resolve(q.Get("model"))
 	if err != nil {
@@ -576,6 +762,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// stream gets a private estimator that dies with the request.
 	var stream *core.StreamSession
 	var qtrack *quality.Tracker // per-session residual window (named sessions)
+	stripe := 0                 // latency-histogram stripe = the session's shard
 	sessionID := q.Get("session")
 	if sessionID != "" {
 		at.SetSession(sessionID)
@@ -589,6 +776,7 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 		defer s.sessions.release(key)
 		stream = sess.stream
 		qtrack = sess.quality
+		stripe = s.sessions.shardIndex(key)
 	} else {
 		stream, err = core.NewStreamSessionRefit(m, alpha, refitWindow)
 		if err != nil {
@@ -616,29 +804,73 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 	// to keep a hostile stream from pinning the handler.
 	defer io.Copy(io.Discard, io.LimitReader(r.Body, int64(s.cfg.MaxLineBytes)))
 
-	sc := bufio.NewScanner(r.Body)
-	// bufio takes max(cap, limit) as the token bound, so the initial
-	// buffer must not exceed the configured line cap.
 	bufCap := 64 * 1024
 	if bufCap > s.cfg.MaxLineBytes {
 		bufCap = s.cfg.MaxLineBytes
 	}
-	sc.Buffer(make([]byte, 0, bufCap), s.cfg.MaxLineBytes)
-	enc := json.NewEncoder(w)
+	if bufCap < 16 {
+		bufCap = 16
+	}
+	br := bufio.NewReaderSize(r.Body, bufCap)
+	// Responses are buffered and flushed when the input is drained
+	// (br.Buffered() == 0): an interactive client that sent one sample
+	// and is waiting gets its row immediately, while a batch upload
+	// gets one coalesced write per batch instead of one syscall and
+	// chunk frame per sample — the dominant per-sample cost at fleet
+	// scale. LegacyServing restores the seed's flush-per-sample.
+	bw := bufio.NewWriterSize(w, 32*1024)
+	defer bw.Flush()
+	enc := json.NewEncoder(bw)
 	streaming := false // true once the 200 header is out
+	// flushIfDrained is the one flush decision per record: legacy mode
+	// reproduces the seed's write-and-flush per sample; the default
+	// path coalesces output until the reader has drained everything the
+	// client sent, so a batch costs one write while a waiting
+	// interactive client still sees its row immediately.
+	flushIfDrained := func() {
+		if streaming && (s.cfg.LegacyServing || br.Buffered() == 0) {
+			bw.Flush()
+			rc.Flush()
+		}
+	}
+	var ps parseScratch
+	var lineBuf []byte
+	var encBuf []byte // reusable fast-encode scratch (encode_fast.go)
+	// Per-sample stage timings exist for the flight recorder; when this
+	// request isn't being recorded, skip the clock reads (two per
+	// sample — measurable at fleet rates). The push is still timed
+	// unconditionally: its latency feeds the estimate histogram.
+	tracing := at != nil
 	// Refit bookkeeping: version/rebuild counters are cumulative on the
 	// session, so metric deltas are taken against the values seen at
 	// request start (correct across reconnects to a named session).
 	lastVersion := stream.ModelVersion()
 	lastRebuilds := stream.RefitRebuilds()
-	for sc.Scan() {
-		line := bytes.TrimSpace(sc.Bytes())
+	var readErr error
+	for readErr == nil {
+		var line []byte
+		line, readErr = readLine(br, s.cfg.MaxLineBytes, &lineBuf)
+		line = bytes.TrimSpace(line)
 		if len(line) == 0 {
+			flushIfDrained()
 			continue
 		}
-		stageStart := time.Now()
-		cs, powerW, reason, err := parseSample(line, m)
-		at.Stage(stageParse, time.Since(stageStart))
+		var stageStart time.Time
+		if tracing {
+			stageStart = time.Now()
+		}
+		var cs core.CounterSample
+		var powerW *float64
+		var reason string
+		var err error
+		if s.cfg.LegacyServing {
+			cs, powerW, reason, err = parseSample(line, m)
+		} else {
+			cs, powerW, reason, err = parseSampleInto(line, &ps)
+		}
+		if tracing {
+			at.Stage(stageParse, time.Since(stageStart))
+		}
 		if err == nil {
 			start := time.Now()
 			var est core.StreamEstimate
@@ -651,10 +883,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			}
 			if perr == nil {
 				pushD := time.Since(start)
-				s.metrics.Estimate(pushD)
-				at.Sample(stagePush, pushD)
+				s.metrics.Estimate(stripe, pushD)
+				if tracing {
+					at.Sample(stagePush, pushD)
+				}
 				if powerW != nil {
-					stageStart = time.Now()
+					if tracing {
+						stageStart = time.Now()
+					}
 					if qmon != nil {
 						qmon.Observe(quality.Observation{
 							TimeNs:       cs.TimeNs,
@@ -671,7 +907,9 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 					if qtrack != nil {
 						qtrack.Observe(est.InstantW, *powerW)
 					}
-					at.Stage(stageQuality, time.Since(stageStart))
+					if tracing {
+						at.Stage(stageQuality, time.Since(stageStart))
+					}
 				}
 				if labelled {
 					s.metrics.RefitSample(math.Abs(est.InstantW - *powerW))
@@ -688,8 +926,10 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 					w.Header().Set("Content-Type", "application/x-ndjson")
 					streaming = true
 				}
-				stageStart = time.Now()
-				enc.Encode(wireEstimate{
+				if tracing {
+					stageStart = time.Now()
+				}
+				we := wireEstimate{
 					TimeNs:       est.TimeNs,
 					InstantW:     est.InstantW,
 					SmoothedW:    est.SmoothedW,
@@ -697,9 +937,14 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 					Samples:      est.Samples,
 					ModelVersion: est.ModelVersion,
 					TraceID:      tc.TraceID,
-				})
-				rc.Flush()
-				at.Stage(stageEncode, time.Since(stageStart))
+				}
+				if s.cfg.LegacyServing || !writeEstimateFast(bw, &encBuf, we) {
+					enc.Encode(we)
+				}
+				flushIfDrained()
+				if tracing {
+					at.Stage(stageEncode, time.Since(stageStart))
+				}
 				continue
 			}
 			reason, err = classifyPushError(perr), perr
@@ -716,21 +961,21 @@ func (s *Server) handleEstimate(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 		enc.Encode(wireError{Error: err.Error(), Reason: reason, TraceID: tc.TraceID})
-		rc.Flush()
+		flushIfDrained()
 	}
 	at.SetModelVersion(stream.ModelVersion())
-	if err := sc.Err(); err != nil {
+	if readErr != io.EOF {
 		reason := ReasonParse
-		if errors.Is(err, bufio.ErrTooLong) {
+		if errors.Is(readErr, bufio.ErrTooLong) {
 			reason = ReasonOversized
 		}
 		s.metrics.Reject(reason)
-		at.Error(err.Error())
+		at.Error(readErr.Error())
 		if !streaming {
-			writeError(w, http.StatusBadRequest, reason, fmt.Errorf("serve: reading stream: %w", err))
+			writeError(w, http.StatusBadRequest, reason, fmt.Errorf("serve: reading stream: %w", readErr))
 			return
 		}
-		enc.Encode(wireError{Error: err.Error(), Reason: reason, TraceID: tc.TraceID})
+		enc.Encode(wireError{Error: readErr.Error(), Reason: reason, TraceID: tc.TraceID})
 	}
 	if !streaming {
 		// Empty body: report the session totals (zero for a fresh
@@ -757,6 +1002,141 @@ func validFreqMHz(f float64) (int, error) {
 		return 0, fmt.Errorf("invalid frequency %v MHz (want a positive integer)", f)
 	}
 	return int(f), nil
+}
+
+// readLine returns the next newline-delimited line from br, without
+// the terminator. Lines that straddle the read buffer spill into
+// *lineBuf (reused across calls, so steady-state reads allocate
+// nothing); a line longer than max bytes returns bufio.ErrTooLong —
+// the same classification the seed's Scanner produced. A final
+// unterminated line arrives alongside io.EOF.
+func readLine(br *bufio.Reader, max int, lineBuf *[]byte) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == nil {
+		line = line[:len(line)-1]
+		if len(line) > max {
+			return nil, bufio.ErrTooLong
+		}
+		return line, nil
+	}
+	if err != bufio.ErrBufferFull {
+		if len(line) > max {
+			return nil, bufio.ErrTooLong
+		}
+		return line, err
+	}
+	*lineBuf = append((*lineBuf)[:0], line...)
+	for err == bufio.ErrBufferFull {
+		line, err = br.ReadSlice('\n')
+		*lineBuf = append(*lineBuf, line...)
+		if len(*lineBuf) > max+1 { // +1: a terminator may still be attached
+			return nil, bufio.ErrTooLong
+		}
+	}
+	buf := *lineBuf
+	if err == nil {
+		buf = buf[:len(buf)-1]
+	}
+	if len(buf) > max {
+		return nil, bufio.ErrTooLong
+	}
+	return buf, err
+}
+
+// parseScratch is the per-stream parse workspace of the default
+// serving path: the wire struct's string-keyed map and the resolved
+// event-id map are reused across lines, so a steady-state stream
+// allocates no per-sample maps. Reuse is safe because every consumer
+// of a pushed sample copies the rates it keeps — core's estimators
+// snapshot into their design vectors and the quality observers copy
+// before retaining — so nothing downstream holds the scratch map once
+// the push returns.
+type parseScratch struct {
+	ws    wireSample
+	rates map[pmu.EventID]float64
+	// Fast-path workspace (parse_fast.go): rate names borrowed from
+	// the line buffer, parallel to their values. Valid only until the
+	// next readLine call.
+	rateNames [][]byte
+	rateVals  []float64
+	// Resolved-name cache: a stream sends the same rate keys on every
+	// line, so remember the previous line's names (copied out of the
+	// transient line buffer, 0xff-separated) and their resolved event
+	// ids. On a hit the per-line work drops to value stores into the
+	// already-keyed rates map — no name lookups, no map rebuild.
+	// cacheValid is the invariant flag: true only while ps.rates'
+	// key set equals idCache (the slow path and failed rebuilds break
+	// that and must clear it).
+	keyCache   []byte
+	idCache    []pmu.EventID
+	cacheValid bool
+}
+
+// namesMatchCache reports whether the just-parsed rate names are
+// byte-identical (count, order, spelling) to the cached previous line.
+func (ps *parseScratch) namesMatchCache() bool {
+	if !ps.cacheValid || len(ps.idCache) != len(ps.rateNames) {
+		return false
+	}
+	k := ps.keyCache
+	for _, nb := range ps.rateNames {
+		if len(k) < len(nb)+1 || !bytes.Equal(k[:len(nb)], nb) || k[len(nb)] != 0xff {
+			return false
+		}
+		k = k[len(nb)+1:]
+	}
+	return len(k) == 0
+}
+
+// parseSampleInto is parseSample with a reusable workspace: same wire
+// format, same rejection reasons, but the returned sample's Rates map
+// is valid only until the next call. The common case is served by the
+// hand scanner in parse_fast.go; anything it cannot prove identical
+// to encoding/json semantics falls through to the decoder below, so
+// all rejections keep their legacy messages and ordering.
+func parseSampleInto(line []byte, ps *parseScratch) (core.CounterSample, *float64, string, error) {
+	if parseSampleFast(line, ps) {
+		if cs, powerW, ok := finishSampleFast(ps); ok {
+			return cs, powerW, "", nil
+		}
+	}
+	// Reset the wire struct but keep the decoded map's backing storage:
+	// json reuses a non-nil map (cleared below) and would leave absent
+	// fields stale otherwise.
+	ps.ws = wireSample{Rates: ps.ws.Rates}
+	if ps.ws.Rates != nil {
+		clear(ps.ws.Rates)
+	}
+	dec := json.NewDecoder(bytes.NewReader(line))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&ps.ws); err != nil {
+		return core.CounterSample{}, nil, ReasonParse, fmt.Errorf("serve: decoding sample: %w", err)
+	}
+	freq, err := validFreqMHz(ps.ws.FreqMHz)
+	if err != nil {
+		return core.CounterSample{}, nil, ReasonBadOperPt, fmt.Errorf("serve: %w", err)
+	}
+	// The decoder path is about to rewrite ps.rates with its own key
+	// set; the fast path's name cache no longer describes the map.
+	ps.cacheValid = false
+	if ps.rates == nil {
+		ps.rates = make(map[pmu.EventID]float64, len(ps.ws.Rates))
+	} else {
+		clear(ps.rates)
+	}
+	for name, v := range ps.ws.Rates {
+		ev, err := pmu.ByName(name)
+		if err != nil {
+			return core.CounterSample{}, nil, ReasonUnknownEv, fmt.Errorf("serve: sample references unknown event %q", name)
+		}
+		ps.rates[ev.ID] = v
+	}
+	return core.CounterSample{
+		TimeNs:   ps.ws.TimeNs,
+		FreqMHz:  freq,
+		VoltageV: ps.ws.VoltageV,
+		Rates:    ps.rates,
+	}, ps.ws.PowerW, "", nil
 }
 
 // parseSample decodes one NDJSON line and resolves event names. Rate
@@ -791,30 +1171,48 @@ func parseSample(line []byte, m *core.Model) (core.CounterSample, *float64, stri
 	}, ws.PowerW, "", nil
 }
 
-// convertRow maps a wire row to an acquisition.Row, enforcing the
-// same validity rules the streaming path gets from the estimator.
+// convertRow maps a wire row to a fresh acquisition.Row, enforcing
+// the same validity rules the streaming path gets from the estimator.
 func convertRow(wr wireRow, m *core.Model) (*acquisition.Row, string, error) {
+	var row acquisition.Row
+	reason, err := convertRowInto(wr, m, &row)
+	if err != nil {
+		return nil, reason, err
+	}
+	return &row, "", nil
+}
+
+// convertRowInto is convertRow into a caller-owned row whose rates
+// map is reused (the batch-predict scratch): a large batch resolves
+// the model once and allocates no per-row state.
+func convertRowInto(wr wireRow, m *core.Model, row *acquisition.Row) (string, error) {
 	freq, ferr := validFreqMHz(wr.FreqMHz)
 	if ferr != nil || !(wr.VoltageV > 0) || math.IsInf(wr.VoltageV, 0) {
-		return nil, ReasonBadOperPt, fmt.Errorf("invalid operating point (freq %v MHz, voltage %v V)", wr.FreqMHz, wr.VoltageV)
+		return ReasonBadOperPt, fmt.Errorf("invalid operating point (freq %v MHz, voltage %v V)", wr.FreqMHz, wr.VoltageV)
 	}
-	rates := make(map[pmu.EventID]float64, len(wr.Rates))
+	if row.Rates == nil {
+		row.Rates = make(map[pmu.EventID]float64, len(wr.Rates))
+	} else {
+		clear(row.Rates)
+	}
 	for name, v := range wr.Rates {
 		ev, err := pmu.ByName(name)
 		if err != nil {
-			return nil, ReasonUnknownEv, fmt.Errorf("unknown event %q", name)
+			return ReasonUnknownEv, fmt.Errorf("unknown event %q", name)
 		}
 		if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
-			return nil, ReasonBadRate, fmt.Errorf("invalid rate %v for event %s", v, name)
+			return ReasonBadRate, fmt.Errorf("invalid rate %v for event %s", v, name)
 		}
-		rates[ev.ID] = v
+		row.Rates[ev.ID] = v
 	}
 	for _, id := range m.Events {
-		if _, ok := rates[id]; !ok {
-			return nil, ReasonMissingEv, fmt.Errorf("missing model event %s", pmu.Lookup(id).Name)
+		if _, ok := row.Rates[id]; !ok {
+			return ReasonMissingEv, fmt.Errorf("missing model event %s", pmu.Lookup(id).Name)
 		}
 	}
-	return &acquisition.Row{FreqMHz: freq, VoltageV: wr.VoltageV, Rates: rates}, "", nil
+	row.FreqMHz = freq
+	row.VoltageV = wr.VoltageV
+	return "", nil
 }
 
 // classifyPushError maps a core.OnlineEstimator rejection to its

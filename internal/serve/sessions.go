@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"net/http"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"pmcpower/internal/core"
@@ -29,7 +30,7 @@ type sessionKey struct {
 
 // session is one live estimator state. The stream arithmetic lives in
 // core.StreamSession (which has its own lock); busy/lastUse are
-// bookkeeping guarded by the manager's lock.
+// bookkeeping guarded by the owning shard's lock.
 type session struct {
 	stream *core.StreamSession
 	alpha  float64
@@ -44,45 +45,115 @@ type session struct {
 	lastUse time.Time
 	// quality tracks this session's own prequential residual window
 	// (nil when quality tracking is disabled). The Tracker has its own
-	// lock; the handler feeds it outside the manager's.
+	// lock; the handler feeds it outside the shard's.
 	quality *quality.Tracker
+}
+
+// sessionShard is one independently locked slice of the session table.
+// The trailing pad keeps adjacent shards off one cache line, so two
+// cores hammering neighbouring shards do not false-share.
+type sessionShard struct {
+	mu       sync.Mutex
+	sessions map[sessionKey]*session
+	_        [40]byte
 }
 
 // sessionManager owns the session table: get-or-create with a global
 // capacity cap, single-stream-per-session backpressure, and idle
-// eviction.
+// eviction. The table is split across a power-of-two number of shards
+// keyed by an FNV-1a hash of "model/client", each with its own mutex
+// and janitor bookkeeping, so concurrent estimate streams for
+// different clients never serialize on one lock. The capacity cap
+// stays exact and global: a shared atomic counter is claimed under the
+// owning shard's lock before a session is created.
 type sessionManager struct {
-	mu       sync.Mutex
-	sessions map[sessionKey]*session
-	max      int
-	ttl      time.Duration
-	now      func() time.Time
-	metrics  *Metrics
+	shards []sessionShard
+	mask   uint64
+	max    int
+	ttl    time.Duration
+	now    func() time.Time
+	// active is the exact global live-session count (the capacity cap
+	// and the sessions_active gauge), maintained with the shard locks
+	// held so it never drifts from the sum of the shard maps.
+	active  atomic.Int64
+	metrics *Metrics
 	// qualityWindow sizes the per-session residual tracker attached to
 	// each new session; 0 disables per-session tracking.
 	qualityWindow int
+	// evictHook, when non-nil, runs once per evicted session after the
+	// owning shard's lock has been released — the test seam for the
+	// collect-then-close sweep contract (a slow teardown must not stall
+	// acquire/release on the same shard).
+	evictHook func(sessionKey, *session)
 }
 
-func newSessionManager(max int, ttl time.Duration, now func() time.Time, m *Metrics, qualityWindow int) *sessionManager {
-	return &sessionManager{
-		sessions:      make(map[sessionKey]*session),
+// shardCount rounds n up to a power of two, with a floor of 1.
+func shardCount(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+func newSessionManager(shards, max int, ttl time.Duration, now func() time.Time, m *Metrics, qualityWindow int) *sessionManager {
+	shards = shardCount(shards)
+	sm := &sessionManager{
+		shards:        make([]sessionShard, shards),
+		mask:          uint64(shards - 1),
 		max:           max,
 		ttl:           ttl,
 		now:           now,
 		metrics:       m,
 		qualityWindow: qualityWindow,
 	}
+	for i := range sm.shards {
+		sm.shards[i].sessions = make(map[sessionKey]*session)
+	}
+	return sm
+}
+
+// shardIndex hashes a session key to its shard with FNV-1a over
+// "model/client". Inlined byte-wise so the hot path allocates nothing.
+func (sm *sessionManager) shardIndex(key sessionKey) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for i := 0; i < len(key.model); i++ {
+		h ^= uint64(key.model[i])
+		h *= prime64
+	}
+	h ^= '/'
+	h *= prime64
+	for i := 0; i < len(key.id); i++ {
+		h ^= uint64(key.id[i])
+		h *= prime64
+	}
+	return int(h & sm.mask)
+}
+
+func (sm *sessionManager) shard(key sessionKey) *sessionShard {
+	return &sm.shards[sm.shardIndex(key)]
 }
 
 // acquire returns the session for key, creating it (with the given
 // model, alpha, and refit window) on first use, and marks it busy
 // until release.
 func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64, refitWindow int) (*session, *httpError) {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	s, ok := sm.sessions[key]
+	sh := sm.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	s, ok := sh.sessions[key]
 	if !ok {
-		if len(sm.sessions) >= sm.max {
+		// Claim a capacity token before creating: the atomic is the one
+		// global piece of state, so the cap stays exact across shards.
+		if n := sm.active.Add(1); n > int64(sm.max) {
+			sm.active.Add(-1)
 			sm.metrics.Reject(ReasonSessionCap)
 			return nil, &httpError{
 				status: http.StatusTooManyRequests,
@@ -92,13 +163,14 @@ func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64, 
 		}
 		stream, err := core.NewStreamSessionRefit(m, alpha, refitWindow)
 		if err != nil {
+			sm.active.Add(-1)
 			return nil, &httpError{status: http.StatusBadRequest, reason: ReasonParse, err: err}
 		}
 		s = &session{stream: stream, alpha: alpha, refitWindow: refitWindow}
 		if sm.qualityWindow > 0 {
 			s.quality = quality.NewTracker(sm.qualityWindow)
 		}
-		sm.sessions[key] = s
+		sh.sessions[key] = s
 		sm.metrics.SessionCreated()
 	} else {
 		if s.busy {
@@ -132,9 +204,10 @@ func (sm *sessionManager) acquire(key sessionKey, m *core.Model, alpha float64, 
 // release returns a session acquired by acquire and refreshes its
 // idle clock.
 func (sm *sessionManager) release(key sessionKey) {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	if s, ok := sm.sessions[key]; ok {
+	sh := sm.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	if s, ok := sh.sessions[key]; ok {
 		s.busy = false
 		s.lastUse = sm.now()
 	}
@@ -142,38 +215,79 @@ func (sm *sessionManager) release(key sessionKey) {
 
 // sweep evicts sessions idle longer than the TTL. Busy sessions are
 // never evicted: an attached stream is activity by definition.
+//
+// Eviction is collect-then-close per shard: expired sessions are
+// unlinked (and the capacity token returned) under the shard lock,
+// but the per-session teardown — eviction metrics and the evictHook —
+// runs after the lock is released, so a slow teardown can never stall
+// acquire/release traffic on the same shard.
 func (sm *sessionManager) sweep(now time.Time) int {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
 	if sm.ttl <= 0 {
 		return 0
 	}
-	var evicted int
-	for key, s := range sm.sessions {
-		if !s.busy && now.Sub(s.lastUse) > sm.ttl {
-			delete(sm.sessions, key)
-			evicted++
-			sm.metrics.Eviction()
+	var total int
+	var keys []sessionKey
+	var evicted []*session
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		keys, evicted = keys[:0], evicted[:0]
+		sh.mu.Lock()
+		for key, s := range sh.sessions {
+			if !s.busy && now.Sub(s.lastUse) > sm.ttl {
+				delete(sh.sessions, key)
+				sm.active.Add(-1)
+				keys = append(keys, key)
+				evicted = append(evicted, s)
+			}
 		}
+		sh.mu.Unlock()
+		for j, s := range evicted {
+			sm.metrics.Eviction()
+			if sm.evictHook != nil {
+				sm.evictHook(keys[j], s)
+			}
+		}
+		total += len(evicted)
 	}
-	return evicted
+	return total
 }
 
-// count returns the number of live sessions.
+// count returns the number of live sessions across all shards.
 func (sm *sessionManager) count() int {
-	sm.mu.Lock()
-	defer sm.mu.Unlock()
-	return len(sm.sessions)
+	return int(sm.active.Load())
+}
+
+// shardCounts returns the per-shard live-session counts (the /v1/status
+// shard-layout block and the pmcpowertop shard bars).
+func (sm *sessionManager) shardCounts() []int {
+	out := make([]int, len(sm.shards))
+	for i := range sm.shards {
+		sh := &sm.shards[i]
+		sh.mu.Lock()
+		out[i] = len(sh.sessions)
+		sh.mu.Unlock()
+	}
+	return out
 }
 
 // qualitySnapshot returns the session's own residual-window snapshot.
 // ok is false when the session does not exist or tracking is disabled.
 func (sm *sessionManager) qualitySnapshot(key sessionKey) (quality.WindowSnapshot, bool) {
-	sm.mu.Lock()
-	s, exists := sm.sessions[key]
-	sm.mu.Unlock()
+	sh := sm.shard(key)
+	sh.mu.Lock()
+	s, exists := sh.sessions[key]
+	sh.mu.Unlock()
 	if !exists || s.quality == nil {
 		return quality.WindowSnapshot{}, false
 	}
 	return s.quality.Snapshot(), true
+}
+
+// lookup returns the live session for key (nil when absent) — test
+// seam for race tests that need to poke a session's stream directly.
+func (sm *sessionManager) lookup(key sessionKey) *session {
+	sh := sm.shard(key)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	return sh.sessions[key]
 }

@@ -40,7 +40,7 @@ func TestSessionManagerStreamVsEvictionRace(t *testing.T) {
 	model, _ := fixture(t)
 	clock := newRaceClock()
 	const ttl = 10 * time.Millisecond
-	sm := newSessionManager(64, ttl, clock.Now, NewMetrics(obs.NewRegistry()), 0)
+	sm := newSessionManager(8, 64, ttl, clock.Now, NewMetrics(obs.NewRegistry(), 8), 0)
 
 	const (
 		workers    = 8
@@ -83,10 +83,7 @@ func TestSessionManagerStreamVsEvictionRace(t *testing.T) {
 				// session must survive each one untouched.
 				for spin := 0; spin < 3; spin++ {
 					clock.Advance(2 * ttl)
-					sm.mu.Lock()
-					cur, ok := sm.sessions[key]
-					sm.mu.Unlock()
-					if !ok || cur != s {
+					if cur := sm.lookup(key); cur != s {
 						busyEvicted.Add(1)
 					}
 				}

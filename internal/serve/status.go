@@ -146,9 +146,10 @@ type StatusResponse struct {
 	GoVersion string  `json:"go_version"`
 	UptimeS   float64 `json:"uptime_s"`
 
-	Health   StatusHealth   `json:"health"`
-	Sessions StatusSessions `json:"sessions"`
-	Models   []ModelInfo    `json:"models"`
+	Health    StatusHealth    `json:"health"`
+	Sessions  StatusSessions  `json:"sessions"`
+	Admission StatusAdmission `json:"admission"`
+	Models    []ModelInfo     `json:"models"`
 	// Quality has one entry per model version that has received
 	// labelled samples, sorted by model key.
 	Quality []ModelQuality `json:"quality"`
@@ -164,11 +165,28 @@ type StatusHealth struct {
 	AlertingModels []string `json:"alerting_models,omitempty"`
 }
 
-// StatusSessions summarizes the session table.
+// StatusSessions summarizes the session table, including its shard
+// layout (PerShard[i] is shard i's live-session count — the
+// pmcpowertop shard bars, and a skew diagnostic for operators).
 type StatusSessions struct {
-	Active  int    `json:"active"`
-	Created uint64 `json:"created"`
-	Evicted uint64 `json:"evicted"`
+	Active   int    `json:"active"`
+	Created  uint64 `json:"created"`
+	Evicted  uint64 `json:"evicted"`
+	Shards   int    `json:"shards"`
+	PerShard []int  `json:"per_shard"`
+}
+
+// StatusAdmission reports the admission gate: configuration, the live
+// in-flight count, and the shed state. Enabled is false when both
+// knobs are off (the gate then only tracks in-flight).
+type StatusAdmission struct {
+	Enabled     bool    `json:"enabled"`
+	MaxInFlight int     `json:"max_inflight"`
+	InFlight    int     `json:"in_flight"`
+	ShedP99MS   float64 `json:"shed_p99_ms"`
+	P99EwmaMS   float64 `json:"p99_ewma_ms"`
+	Shedding    bool    `json:"shedding"`
+	ShedTotal   uint64  `json:"shed_total"`
 }
 
 // ModelQuality is the per-model-version accuracy block of /v1/status:
@@ -216,9 +234,20 @@ func (s *Server) Status() StatusResponse {
 			ServableModels: s.reg.Count(),
 		},
 		Sessions: StatusSessions{
-			Active:  s.sessions.count(),
-			Created: s.metrics.SessionsCreated(),
-			Evicted: s.metrics.Evictions(),
+			Active:   s.sessions.count(),
+			Created:  s.metrics.SessionsCreated(),
+			Evicted:  s.metrics.Evictions(),
+			Shards:   len(s.sessions.shards),
+			PerShard: s.sessions.shardCounts(),
+		},
+		Admission: StatusAdmission{
+			Enabled:     s.gate.enabled(),
+			MaxInFlight: s.cfg.MaxInFlight,
+			InFlight:    s.gate.inFlight(),
+			ShedP99MS:   s.cfg.ShedP99.Seconds() * 1e3,
+			P99EwmaMS:   s.gate.p99EwmaS() * 1e3,
+			Shedding:    s.gate.sheddingNow(),
+			ShedTotal:   s.gate.shedTotal(),
 		},
 		Models: s.reg.List(),
 	}
